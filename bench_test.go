@@ -1,0 +1,249 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each running a reduced-scale version of the corresponding
+// experiment and reporting the figure's headline quantity as a custom
+// metric, plus microbenchmarks of the hot simulator paths. Regenerating the
+// figures at paper scale is `go run ./cmd/experiments -scale full all`;
+// these benches exist so `go test -bench=.` exercises every experiment path
+// and tracks simulator performance.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/tracegen"
+)
+
+// benchScale is even smaller than Smoke: benchmarks repeat b.N times.
+var benchScale = experiments.Scale{
+	Name: "bench", Warmup: 300, Measure: 1500, MaxDrain: 2500,
+	Rates:       []float64{0.006, 0.012},
+	TraceCycles: 8000,
+}
+
+// benchPoint runs one simulation point and returns delivered throughput.
+func benchPoint(b *testing.B, kind schemes.Kind, pat *protocol.Pattern, vcs int, rate float64) float64 {
+	b.Helper()
+	cfg := network.DefaultConfig()
+	cfg.Scheme = kind
+	cfg.Pattern = pat
+	cfg.VCs = vcs
+	cfg.Rate = rate
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = benchScale.Warmup, benchScale.Measure, benchScale.MaxDrain
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Run()
+	return n.Stats.Throughput()
+}
+
+// BenchmarkTable1 regenerates Table 1: per-application response-type mixes
+// through the MSI directory engine.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard, benchScale, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6's load-rate distribution for one
+// application (FFT) through the full trace-driven network.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment("fig6", benchScale, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceDeadlocks regenerates the Section 4.2.2 characterization
+// (trace-driven runs on plain and bristled tori).
+func BenchmarkTraceDeadlocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment("traces", benchScale, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8's key comparison at 4 VCs: PR versus DR
+// on PAT721 (SA is not configurable, as in the paper). Reports the
+// throughput advantage of PR as pr_over_dr.
+func BenchmarkFig8(b *testing.B) {
+	var prOverDR float64
+	for i := 0; i < b.N; i++ {
+		dr := benchPoint(b, schemes.DR, protocol.PAT721, 4, 0.014)
+		pr := benchPoint(b, schemes.PR, protocol.PAT721, 4, 0.014)
+		if dr > 0 {
+			prOverDR = pr / dr
+		}
+	}
+	b.ReportMetric(prOverDR, "pr_over_dr")
+}
+
+// BenchmarkFig9 regenerates Figure 9's key point at 8 VCs: SA saturates
+// early for 4-type patterns while DR and PR stay close.
+func BenchmarkFig9(b *testing.B) {
+	var saOverPR float64
+	for i := 0; i < b.N; i++ {
+		sa := benchPoint(b, schemes.SA, protocol.PAT721, 8, 0.014)
+		pr := benchPoint(b, schemes.PR, protocol.PAT721, 8, 0.014)
+		if pr > 0 {
+			saOverPR = sa / pr
+		}
+	}
+	b.ReportMetric(saOverPR, "sa_over_pr")
+}
+
+// BenchmarkFig10 regenerates Figure 10's key point at 16 VCs: with abundant
+// channels the schemes converge, with SA slightly ahead of shared-queue PR.
+func BenchmarkFig10(b *testing.B) {
+	var saOverPR float64
+	for i := 0; i < b.N; i++ {
+		sa := benchPoint(b, schemes.SA, protocol.PAT271, 16, 0.016)
+		pr := benchPoint(b, schemes.PR, protocol.PAT271, 16, 0.016)
+		if pr > 0 {
+			saOverPR = sa / pr
+		}
+	}
+	b.ReportMetric(saOverPR, "sa_over_pr")
+}
+
+// BenchmarkFig11 regenerates Figure 11's ablation: PR with per-type queues
+// (QA) versus PR with a shared queue at 16 VCs.
+func BenchmarkFig11(b *testing.B) {
+	var qaOverShared float64
+	for i := 0; i < b.N; i++ {
+		cfg := network.DefaultConfig()
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 16
+		cfg.Rate = 0.016
+		cfg.Warmup, cfg.Measure, cfg.MaxDrain = benchScale.Warmup, benchScale.Measure, benchScale.MaxDrain
+		shared, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shared.Run()
+		cfg.QueueMode = QueuePerType
+		qa, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qa.Run()
+		if t := shared.Stats.Throughput(); t > 0 {
+			qaOverShared = qa.Stats.Throughput() / t
+		}
+	}
+	b.ReportMetric(qaOverShared, "qa_over_shared")
+}
+
+// BenchmarkDeadlockFrequency regenerates the deadlock-frequency
+// characterization: PR at deep saturation with scarce resources, reporting
+// normalized deadlocks (recoveries per delivered message).
+func BenchmarkDeadlockFrequency(b *testing.B) {
+	var normalized float64
+	for i := 0; i < b.N; i++ {
+		cfg := network.DefaultConfig()
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 4
+		cfg.Rate = 0.02
+		cfg.Warmup, cfg.Measure, cfg.MaxDrain = benchScale.Warmup, benchScale.Measure, benchScale.MaxDrain
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Run()
+		normalized = n.Stats.NormalizedDeadlocks()
+	}
+	b.ReportMetric(normalized, "norm_deadlocks")
+}
+
+// --- microbenchmarks of hot paths ---
+
+// BenchmarkSimulationCycle measures one full-system cycle of an 8x8 torus
+// under moderate load.
+func BenchmarkSimulationCycle(b *testing.B) {
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.01
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
+	cfg.CWGInterval = 0
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.RunCycles(2000) // reach steady occupancy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkCWGScan measures one channel-wait-for-graph scan on a loaded
+// network.
+func BenchmarkCWGScan(b *testing.B) {
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.015
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0
+	// Keep the detector installed but never scheduled; the loop below
+	// drives it directly.
+	cfg.CWGInterval = 1 << 40
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.RunCycles(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Detector.Scan()
+	}
+}
+
+// BenchmarkCoherenceAccess measures the MSI engine's access path.
+func BenchmarkCoherenceAccess(b *testing.B) {
+	sys, err := coherence.New(coherence.DefaultConfig(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := coherence.Read
+		if i%3 == 0 {
+			op = coherence.Write
+		}
+		sys.Access(rng.Intn(16), op, uint64(rng.Intn(1<<16))*64)
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic trace synthesis.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := tracegen.NewGenerator(tracegen.Radix, 16, uint64(i+1))
+		g.Generate(5000)
+	}
+}
+
+// BenchmarkRNG measures the simulator's random stream.
+func BenchmarkRNG(b *testing.B) {
+	r := sim.NewRNG(7)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += r.Uint64()
+	}
+	_ = acc
+}

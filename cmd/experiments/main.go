@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints a self-describing text report to stdout.
+//
+// Usage:
+//
+//	experiments [-scale full|quick|smoke] <name>...
+//	experiments -scale quick all
+//
+// Names: table1, fig6, traces, fig8, fig9, fig10, fig11, dlfreq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "run scale: full, quick, or smoke")
+	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
+	flag.Parse()
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick|smoke] <name>...\nnames: %v or all\n", repro.ExperimentNames)
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = repro.ExperimentNames
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := run(name, scale, *csvDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// run dispatches one experiment; for the BNF figures it optionally also
+// writes the raw series as CSV for external plotting.
+func run(name string, scale repro.ExperimentScale, csvDir string) error {
+	var series []stats.Series
+	var err error
+	switch name {
+	case "fig8":
+		series, err = experiments.Fig8(os.Stdout, scale)
+	case "fig9":
+		series, err = experiments.Fig9(os.Stdout, scale)
+	case "fig10":
+		series, err = experiments.Fig10(os.Stdout, scale)
+	case "fig11":
+		series, err = experiments.Fig11(os.Stdout, scale)
+	default:
+		return repro.RunExperiment(name, scale, os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, name+".csv")
+		if err := os.WriteFile(path, []byte(stats.CSV(series)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func scaleByName(name string) (repro.ExperimentScale, error) {
+	switch name {
+	case "full":
+		return repro.ScaleFull, nil
+	case "quick":
+		return repro.ScaleQuick, nil
+	case "smoke":
+		return repro.ScaleSmoke, nil
+	}
+	return repro.ExperimentScale{}, fmt.Errorf("unknown scale %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseRadix(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"8x8", []int{8, 8}, true},
+		{"4X4X4", []int{4, 4, 4}, true},
+		{"16", []int{16}, true},
+		{"8x", nil, false},
+		{"axb", nil, false},
+		{"", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseRadix(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseRadix(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseRadix(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseRadix(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

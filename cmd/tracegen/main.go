@@ -1,0 +1,72 @@
+// Command tracegen synthesizes Splash-2-like application traces (FFT, LU,
+// Radix, Water) calibrated to the paper's Table 1 response mixes and Figure
+// 6 load profiles, and writes them in the repository's binary trace format.
+//
+// Example:
+//
+//	tracegen -app Radix -nodes 16 -cycles 120000 -o radix.trc
+//	tracegen -app Water -verify        # replay through MSI and print the mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "FFT", "application: FFT, LU, Radix, Water")
+		nodes   = flag.Int("nodes", 16, "processor count")
+		cycles  = flag.Int64("cycles", 120000, "trace length in cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default <app>.trc)")
+		verify  = flag.Bool("verify", false, "replay through the MSI engine and print the measured response mix")
+	)
+	flag.Parse()
+
+	app, ok := tracegen.AppByName(*appName)
+	if !ok {
+		fatal(fmt.Errorf("unknown app %q (want FFT, LU, Radix, or Water)", *appName))
+	}
+	g := tracegen.NewGenerator(app, *nodes, *seed)
+	tr := g.Generate(*cycles)
+	fmt.Printf("%s: %d records over %d cycles on %d nodes\n", app.Name, len(tr.Records), *cycles, *nodes)
+
+	if *verify {
+		sys, err := coherence.New(coherence.DefaultConfig(*nodes))
+		fatalIf(err)
+		for _, r := range tr.Records {
+			sys.Access(int(r.CPU), r.Op, r.Addr)
+		}
+		d, i, f := sys.Mix()
+		fmt.Printf("measured mix: direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%  (%d misses, %d hits)\n",
+			100*d, 100*i, 100*f, sys.Misses(), sys.Counts[coherence.Hit])
+		fmt.Printf("paper mix:    direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%\n",
+			100*app.Direct, 100*app.Inval, 100*app.Forward)
+	}
+
+	path := *out
+	if path == "" {
+		path = app.Name + ".trc"
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	fatalIf(tr.Write(f))
+	fatalIf(f.Close())
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

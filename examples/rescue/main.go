@@ -1,0 +1,67 @@
+// Rescue: anatomy of an Extended Disha Sequential recovery. Drives a small
+// network with tiny queues and scarce channels into genuine
+// message-dependent deadlock, then traces the token lifecycle — captures,
+// recovery-lane transfers, token reuse along the dependency chain, and
+// releases — as the progressive recovery engine rescues the system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = repro.PR
+	cfg.Pattern = repro.PAT271
+	cfg.VCs = 2      // scarce channels
+	cfg.QueueCap = 2 // tiny endpoint queues: couplings bite fast
+	cfg.Rate = 0.02  // deep saturation
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 0, 8000, 30000
+	cfg.Seed = 23
+
+	sim, err := repro.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := sim.Network()
+
+	var captures int
+	lastPhase := core.PhaseIdle
+	maxDepth := 0
+	net.OnCycle = func(now int64) {
+		r := net.Rescue
+		if r.Depth() > maxDepth {
+			maxDepth = r.Depth()
+		}
+		phase := r.CurrentPhase()
+		if phase != lastPhase {
+			if lastPhase == core.PhaseIdle && phase != core.PhaseIdle {
+				captures++
+				if captures <= 5 {
+					fmt.Printf("cycle %5d: token captured at router %d (rescue #%d)\n",
+						now, net.Token.Pos(), captures)
+				}
+			}
+			if phase == core.PhaseIdle && lastPhase != core.PhaseIdle && captures <= 5 {
+				fmt.Printf("cycle %5d: rescue #%d complete, token re-circulates\n", now, captures)
+			}
+			lastPhase = phase
+		}
+	}
+
+	res := sim.Run()
+
+	fmt.Printf("\nafter %d measured cycles at deep saturation:\n", cfg.Measure)
+	fmt.Printf("  endpoint detections   %d\n", res.DetectEvents)
+	fmt.Printf("  token captures        %d\n", net.Token.Captures)
+	fmt.Printf("  rescues completed     %d\n", net.Rescue.Completed)
+	fmt.Printf("  deepest token reuse   %d frames (subordinate chains, Appendix Cases 3-4)\n", net.Rescue.MaxDepth)
+	fmt.Printf("  CWG knots observed    %d\n", res.Deadlocks)
+	fmt.Printf("  rescued deliveries    %d messages travelled the DB/DMB lane\n", net.Stats.RescuedDelivered)
+	fmt.Printf("  system drained        %v — progressive recovery loses nothing\n", res.Drained)
+}

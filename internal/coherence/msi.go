@@ -1,0 +1,400 @@
+// Package coherence implements the three-state MSI invalidation-based
+// cache-coherence protocol with a full-mapped directory that FlexSim
+// incorporates for trace-driven CC-NUMA simulation (Section 4.2.1, Figure
+// 5): per-node set-associative caches (64 KByte, 64-byte lines by default)
+// and a home directory per line. Each processor data access either hits
+// locally or produces one coherence transaction whose dependency-chain shape
+// is exactly one of the paper's response categories (Table 1):
+//
+//	Direct Reply:  RQ -> RP                      (chain 2)
+//	Invalidation:  RQ -> INV(s) -> ACK(s)        (chain 3, fanout = sharers)
+//	Forwarding:    RQ -> FRQ -> FRP -> RP        (chain 4, via home)
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// Op is a processor data access operation.
+type Op uint8
+
+const (
+	// Read is a load.
+	Read Op = iota
+	// Write is a store.
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Category classifies the home node's response to a request, the quantity
+// tabulated in Table 1.
+type Category int
+
+const (
+	// Hit means the access completed locally: no transaction.
+	Hit Category = iota
+	// DirectReply: the home satisfied the request itself.
+	DirectReply
+	// Invalidation: the home invalidated sharers before replying.
+	Invalidation
+	// Forwarding: the home forwarded the request to the owner.
+	Forwarding
+	// NumCategories is the number of categories.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Hit:
+		return "hit"
+	case DirectReply:
+		return "direct"
+	case Invalidation:
+		return "invalidation"
+	case Forwarding:
+		return "forwarding"
+	default:
+		return "?"
+	}
+}
+
+// lineState is an L1 line's MSI state.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+// Config sizes the memory system.
+type Config struct {
+	// Nodes is the number of processors (and directory slices).
+	Nodes int
+	// LineSize is the coherence granularity in bytes (default 64).
+	LineSize int
+	// CacheSize is the per-node L1 capacity in bytes (default 64 KiB).
+	CacheSize int
+	// Ways is the set associativity (the paper does not specify; 4-way).
+	Ways int
+}
+
+// DefaultConfig returns the paper's trace-driven parameters.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, LineSize: 64, CacheSize: 64 << 10, Ways: 4}
+}
+
+// Line identifies a cache line by its index (address / LineSize).
+type Line uint64
+
+// dirEntry is one full-mapped directory entry.
+type dirEntry struct {
+	state   lineState // invalid (uncached), shared, or modified
+	owner   int
+	sharers map[int]bool
+}
+
+// cacheSet is one set of a node's L1 with LRU order (front = MRU).
+type cacheSet struct {
+	lines  []Line
+	states []lineState
+}
+
+// Outcome describes the coherence transaction an access produced.
+type Outcome struct {
+	Category Category
+	// Requester and Home are endpoint IDs; Thirds are the owner (for
+	// Forwarding) or the invalidated sharers (for Invalidation).
+	Requester, Home int
+	Thirds          []int
+	// Upgrade marks a write that promoted an already-shared local copy.
+	Upgrade bool
+	// Line is the accessed cache line.
+	Line Line
+}
+
+// Template returns the protocol template and third-party list for this
+// outcome, mapping coherence categories onto the generic chain shapes.
+func (o Outcome) Template() (*protocol.Template, []int) {
+	switch o.Category {
+	case DirectReply:
+		return protocol.Chain2, []int{o.Home}
+	case Invalidation:
+		if len(o.Thirds) == 1 {
+			return protocol.Chain3S1, o.Thirds
+		}
+		t := &protocol.Template{Name: fmt.Sprintf("inv%d", len(o.Thirds)), Steps: []protocol.Step{
+			{Type: protocol.Chain3S1.Steps[0].Type, Dest: protocol.RoleHome},
+			{Type: protocol.Chain3S1.Steps[1].Type, Dest: protocol.RoleThird, Fanout: len(o.Thirds)},
+			{Type: protocol.Chain3S1.Steps[2].Type, Dest: protocol.RoleRequester},
+		}}
+		return t, o.Thirds
+	case Forwarding:
+		return protocol.Chain4S1, o.Thirds
+	default:
+		return nil, nil
+	}
+}
+
+// System is the full-mapped-directory MSI memory system.
+type System struct {
+	cfg  Config
+	sets int
+	// caches[node][set]
+	caches [][]cacheSet
+	dir    map[Line]*dirEntry
+
+	// Stats per category (Hit included).
+	Counts [NumCategories]int64
+	// Evictions counts silent L1 evictions (modelled without writeback
+	// traffic; see DESIGN.md substitutions).
+	Evictions int64
+}
+
+// New builds a memory system.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes < 1 || cfg.LineSize < 1 || cfg.CacheSize < cfg.LineSize || cfg.Ways < 1 {
+		return nil, fmt.Errorf("coherence: bad config %+v", cfg)
+	}
+	linesPerCache := cfg.CacheSize / cfg.LineSize
+	sets := linesPerCache / cfg.Ways
+	if sets < 1 {
+		return nil, fmt.Errorf("coherence: cache too small for %d ways", cfg.Ways)
+	}
+	s := &System{cfg: cfg, sets: sets, dir: make(map[Line]*dirEntry)}
+	s.caches = make([][]cacheSet, cfg.Nodes)
+	for n := range s.caches {
+		s.caches[n] = make([]cacheSet, sets)
+	}
+	return s, nil
+}
+
+// LineOf maps a byte address to its line.
+func (s *System) LineOf(addr uint64) Line { return Line(addr / uint64(s.cfg.LineSize)) }
+
+// HomeOf maps a line to its home node (low-order interleaving, as in
+// CC-NUMA machines with physically distributed directories).
+func (s *System) HomeOf(l Line) int { return int(uint64(l) % uint64(s.cfg.Nodes)) }
+
+func (s *System) setOf(l Line) int { return int(uint64(l) % uint64(s.sets)) }
+
+// lookup finds the line's way in the node's cache set, or -1.
+func (s *System) lookup(node int, l Line) (set *cacheSet, way int) {
+	set = &s.caches[node][s.setOf(l)]
+	for i, ln := range set.lines {
+		if ln == l && set.states[i] != invalid {
+			return set, i
+		}
+	}
+	return set, -1
+}
+
+// touch moves way w to the MRU position.
+func (set *cacheSet) touch(w int) {
+	l, st := set.lines[w], set.states[w]
+	copy(set.lines[1:w+1], set.lines[:w])
+	copy(set.states[1:w+1], set.states[:w])
+	set.lines[0], set.states[0] = l, st
+}
+
+// install places a line at MRU in the given state, evicting LRU if needed.
+// It returns the evicted line and whether an eviction happened.
+func (s *System) install(node int, l Line, st lineState) (Line, bool) {
+	set := &s.caches[node][s.setOf(l)]
+	if len(set.lines) < s.cfg.Ways {
+		set.lines = append([]Line{l}, set.lines...)
+		set.states = append([]lineState{st}, set.states...)
+		return 0, false
+	}
+	victim := set.lines[len(set.lines)-1]
+	vstate := set.states[len(set.states)-1]
+	copy(set.lines[1:], set.lines[:len(set.lines)-1])
+	copy(set.states[1:], set.states[:len(set.states)-1])
+	set.lines[0], set.states[0] = l, st
+	if vstate != invalid {
+		s.evict(node, victim)
+		return victim, true
+	}
+	return 0, false
+}
+
+// evict drops a node's copy from the directory bookkeeping (silent
+// replacement: modified data is conceptually written back without modelled
+// traffic; see DESIGN.md).
+func (s *System) evict(node int, l Line) {
+	s.Evictions++
+	e := s.dir[l]
+	if e == nil {
+		return
+	}
+	switch e.state {
+	case modified:
+		if e.owner == node {
+			e.state = invalid
+		}
+	case shared:
+		delete(e.sharers, node)
+		if len(e.sharers) == 0 {
+			e.state = invalid
+		}
+	}
+}
+
+// entry returns (creating if needed) the directory entry for a line.
+func (s *System) entry(l Line) *dirEntry {
+	e := s.dir[l]
+	if e == nil {
+		e = &dirEntry{sharers: make(map[int]bool)}
+		s.dir[l] = e
+	}
+	return e
+}
+
+// Access performs one processor data access and returns its outcome.
+func (s *System) Access(node int, op Op, addr uint64) Outcome {
+	if node < 0 || node >= s.cfg.Nodes {
+		panic(fmt.Sprintf("coherence: node %d out of range", node))
+	}
+	l := s.LineOf(addr)
+	home := s.HomeOf(l)
+	set, way := s.lookup(node, l)
+	e := s.entry(l)
+
+	if way >= 0 {
+		st := set.states[way]
+		if op == Read || st == modified {
+			set.touch(way)
+			s.Counts[Hit]++
+			return Outcome{Category: Hit, Requester: node, Home: home, Line: l}
+		}
+		// Write to a shared copy: upgrade. Invalidate other sharers (if
+		// any) — otherwise a direct permission grant from the home.
+		var thirds []int
+		for n := range e.sharers {
+			if n != node {
+				thirds = append(thirds, n)
+			}
+		}
+		sortInts(thirds)
+		e.state = modified
+		e.owner = node
+		e.sharers = make(map[int]bool)
+		set.states[way] = modified
+		set.touch(way)
+		if len(thirds) > 0 {
+			s.Counts[Invalidation]++
+			return Outcome{Category: Invalidation, Requester: node, Home: home, Thirds: thirds, Upgrade: true, Line: l}
+		}
+		s.Counts[DirectReply]++
+		return Outcome{Category: DirectReply, Requester: node, Home: home, Upgrade: true, Line: l}
+	}
+
+	// Miss.
+	var out Outcome
+	out.Requester, out.Home, out.Line = node, home, l
+	switch {
+	case op == Read && e.state == modified && e.owner != node:
+		// Owner forwards the data; both end shared.
+		out.Category = Forwarding
+		out.Thirds = []int{e.owner}
+		e.state = shared
+		e.sharers = map[int]bool{e.owner: true, node: true}
+		s.downgrade(e.owner, l)
+		s.install(node, l, shared)
+	case op == Read:
+		out.Category = DirectReply
+		if e.state == invalid {
+			e.state = shared
+			e.sharers = make(map[int]bool)
+		}
+		e.sharers[node] = true
+		s.install(node, l, shared)
+	case op == Write && e.state == modified && e.owner != node:
+		// Ownership transfer via the home.
+		out.Category = Forwarding
+		out.Thirds = []int{e.owner}
+		s.invalidate(e.owner, l)
+		e.owner = node
+		s.install(node, l, modified)
+	case op == Write && e.state == shared && s.othersharers(e, node) != nil:
+		out.Category = Invalidation
+		out.Thirds = s.othersharers(e, node)
+		for _, n := range out.Thirds {
+			s.invalidate(n, l)
+		}
+		e.state = modified
+		e.owner = node
+		e.sharers = make(map[int]bool)
+		s.install(node, l, modified)
+	default:
+		// Uncached write (or stale shared entry with no other sharers).
+		out.Category = DirectReply
+		e.state = modified
+		e.owner = node
+		e.sharers = make(map[int]bool)
+		s.install(node, l, modified)
+	}
+	s.Counts[out.Category]++
+	return out
+}
+
+// othersharers lists sharers other than node in deterministic order.
+func (s *System) othersharers(e *dirEntry, node int) []int {
+	var out []int
+	for n := range e.sharers {
+		if n != node {
+			out = append(out, n)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// downgrade flips a node's cached copy from modified to shared.
+func (s *System) downgrade(node int, l Line) {
+	if set, way := s.lookup(node, l); way >= 0 {
+		set.states[way] = shared
+	}
+}
+
+// invalidate removes a node's cached copy.
+func (s *System) invalidate(node int, l Line) {
+	if set, way := s.lookup(node, l); way >= 0 {
+		set.states[way] = invalid
+	}
+}
+
+// Mix returns the Table 1 response-type distribution over non-hit accesses:
+// fractions of DirectReply, Invalidation, and Forwarding.
+func (s *System) Mix() (direct, inval, forward float64) {
+	total := s.Counts[DirectReply] + s.Counts[Invalidation] + s.Counts[Forwarding]
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(s.Counts[DirectReply]) / float64(total),
+		float64(s.Counts[Invalidation]) / float64(total),
+		float64(s.Counts[Forwarding]) / float64(total)
+}
+
+// Misses returns the number of accesses that produced transactions.
+func (s *System) Misses() int64 {
+	return s.Counts[DirectReply] + s.Counts[Invalidation] + s.Counts[Forwarding]
+}
+
+// sortInts is a tiny insertion sort (the slices involved hold a handful of
+// sharers; avoids pulling in package sort for hot paths).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

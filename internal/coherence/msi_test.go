@@ -1,0 +1,240 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+func newSys(t *testing.T, nodes int) *System {
+	t.Helper()
+	s, err := New(DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, LineSize: 64, CacheSize: 1024, Ways: 4}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(Config{Nodes: 4, LineSize: 64, CacheSize: 32, Ways: 4}); err == nil {
+		t.Error("cache smaller than a line accepted")
+	}
+	if _, err := New(Config{Nodes: 4, LineSize: 64, CacheSize: 128, Ways: 4}); err == nil {
+		t.Error("cache smaller than one set accepted")
+	}
+}
+
+func TestColdReadIsDirect(t *testing.T) {
+	s := newSys(t, 4)
+	out := s.Access(1, Read, 0x1000)
+	if out.Category != DirectReply {
+		t.Fatalf("cold read = %v", out.Category)
+	}
+	if out.Home != s.HomeOf(s.LineOf(0x1000)) {
+		t.Fatal("home wrong")
+	}
+}
+
+func TestReadAfterReadHits(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(1, Read, 0x1000)
+	out := s.Access(1, Read, 0x1000)
+	if out.Category != Hit {
+		t.Fatalf("re-read = %v", out.Category)
+	}
+	// Another word in the same line also hits.
+	if out := s.Access(1, Read, 0x1008); out.Category != Hit {
+		t.Fatalf("same-line read = %v", out.Category)
+	}
+}
+
+func TestWriteSharedInvalidates(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(1, Read, 0x1000)
+	s.Access(2, Read, 0x1000)
+	out := s.Access(3, Write, 0x1000)
+	if out.Category != Invalidation {
+		t.Fatalf("write to shared = %v", out.Category)
+	}
+	if len(out.Thirds) != 2 || out.Thirds[0] != 1 || out.Thirds[1] != 2 {
+		t.Fatalf("invalidated sharers = %v", out.Thirds)
+	}
+	// The old sharers now miss.
+	if out := s.Access(1, Read, 0x1000); out.Category == Hit {
+		t.Fatal("stale sharer hit after invalidation")
+	}
+}
+
+func TestUpgradeFromSharedSelf(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(1, Read, 0x2000)
+	// Sole sharer upgrading: direct permission, no invalidations.
+	out := s.Access(1, Write, 0x2000)
+	if out.Category != DirectReply || !out.Upgrade {
+		t.Fatalf("upgrade = %v (upgrade=%v)", out.Category, out.Upgrade)
+	}
+	// Upgrade with another sharer present: invalidation.
+	s.Access(1, Read, 0x3000)
+	s.Access(2, Read, 0x3000)
+	out = s.Access(1, Write, 0x3000)
+	if out.Category != Invalidation || !out.Upgrade || len(out.Thirds) != 1 || out.Thirds[0] != 2 {
+		t.Fatalf("shared upgrade = %+v", out)
+	}
+}
+
+func TestReadModifiedForwards(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(2, Write, 0x4000)
+	out := s.Access(3, Read, 0x4000)
+	if out.Category != Forwarding || len(out.Thirds) != 1 || out.Thirds[0] != 2 {
+		t.Fatalf("read of modified = %+v", out)
+	}
+	// Both now share: the old owner hits on read and the reader hits.
+	if out := s.Access(2, Read, 0x4000); out.Category != Hit {
+		t.Fatal("downgraded owner misses")
+	}
+	if out := s.Access(3, Read, 0x4000); out.Category != Hit {
+		t.Fatal("reader misses after forward")
+	}
+}
+
+func TestWriteModifiedForwardsOwnership(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(2, Write, 0x5000)
+	out := s.Access(3, Write, 0x5000)
+	if out.Category != Forwarding || out.Thirds[0] != 2 {
+		t.Fatalf("write of modified = %+v", out)
+	}
+	if out := s.Access(3, Write, 0x5000); out.Category != Hit {
+		t.Fatal("new owner misses")
+	}
+	if out := s.Access(2, Read, 0x5000); out.Category == Hit {
+		t.Fatal("old owner still hits after ownership transfer")
+	}
+}
+
+func TestWriteHitInModified(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(1, Write, 0x6000)
+	if out := s.Access(1, Write, 0x6008); out.Category != Hit {
+		t.Fatalf("write to own modified line = %v", out.Category)
+	}
+}
+
+func TestEvictionOnCapacity(t *testing.T) {
+	cfg := Config{Nodes: 2, LineSize: 64, CacheSize: 512, Ways: 2} // 8 lines, 4 sets
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill one set (lines mapping to set 0: line%4==0) beyond 2 ways.
+	s.Access(0, Read, 0*64)
+	s.Access(0, Read, 4*64)
+	s.Access(0, Read, 8*64) // evicts line 0
+	if s.Evictions == 0 {
+		t.Fatal("no eviction recorded")
+	}
+	if out := s.Access(0, Read, 0*64); out.Category == Hit {
+		t.Fatal("evicted line hit")
+	}
+}
+
+func TestEvictionCleansDirectory(t *testing.T) {
+	cfg := Config{Nodes: 2, LineSize: 64, CacheSize: 256, Ways: 1} // 4 lines, 4 sets
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, Write, 0*64)
+	s.Access(0, Write, 4*64) // evicts modified line 0
+	// Line 0 is now uncached: a read by node 1 must be Direct, not Forward.
+	if out := s.Access(1, Read, 0*64); out.Category != DirectReply {
+		t.Fatalf("read after M eviction = %v", out.Category)
+	}
+}
+
+func TestOutcomeTemplates(t *testing.T) {
+	o := Outcome{Category: DirectReply, Home: 3}
+	tmpl, thirds := o.Template()
+	if tmpl != protocol.Chain2 || len(thirds) != 1 {
+		t.Fatal("direct template wrong")
+	}
+	o = Outcome{Category: Invalidation, Thirds: []int{5}}
+	tmpl, _ = o.Template()
+	if tmpl != protocol.Chain3S1 {
+		t.Fatal("single invalidation template wrong")
+	}
+	o = Outcome{Category: Invalidation, Thirds: []int{5, 6, 7}}
+	tmpl, thirds = o.Template()
+	if fi, w := tmpl.FanoutIndex(); fi != 1 || w != 3 || len(thirds) != 3 {
+		t.Fatalf("fanout template wrong: fi=%d w=%d", fi, w)
+	}
+	if err := tmpl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o = Outcome{Category: Forwarding, Thirds: []int{2}}
+	tmpl, _ = o.Template()
+	if tmpl != protocol.Chain4S1 {
+		t.Fatal("forwarding template wrong")
+	}
+}
+
+func TestMixAccounting(t *testing.T) {
+	s := newSys(t, 4)
+	s.Access(0, Read, 0x100)  // direct
+	s.Access(1, Write, 0x100) // invalidation (0 shares)
+	s.Access(2, Read, 0x100)  // forwarding (1 owns)
+	d, i, f := s.Mix()
+	if d <= 0 || i <= 0 || f <= 0 || s.Misses() != 3 {
+		t.Fatalf("mix = %v %v %v misses=%d", d, i, f, s.Misses())
+	}
+}
+
+func TestHomeDistributionUniform(t *testing.T) {
+	s := newSys(t, 16)
+	counts := make([]int, 16)
+	for l := 0; l < 1600; l++ {
+		counts[s.HomeOf(Line(l))]++
+	}
+	for n, c := range counts {
+		if c != 100 {
+			t.Fatalf("home %d count %d", n, c)
+		}
+	}
+}
+
+func TestRandomisedStressConsistency(t *testing.T) {
+	// Random access storm: directory and caches must stay consistent (no
+	// panics) and every outcome must be a legal category.
+	s := newSys(t, 8)
+	rng := sim.NewRNG(42)
+	for i := 0; i < 50000; i++ {
+		node := rng.Intn(8)
+		op := Read
+		if rng.Bernoulli(0.4) {
+			op = Write
+		}
+		addr := uint64(rng.Intn(4096)) * 64
+		out := s.Access(node, op, addr)
+		if out.Category < Hit || out.Category >= NumCategories {
+			t.Fatalf("illegal category %v", out.Category)
+		}
+		if out.Category == Forwarding && out.Thirds[0] == node {
+			t.Fatal("forwarded to self")
+		}
+		if out.Category == Invalidation {
+			for _, th := range out.Thirds {
+				if th == node {
+					t.Fatal("invalidated self")
+				}
+			}
+		}
+	}
+	if s.Counts[Hit] == 0 || s.Misses() == 0 {
+		t.Fatal("stress did not exercise both hits and misses")
+	}
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// fanoutPattern: invalidation-heavy traffic where every chain-3 transaction
+// fans out to `width` sharers — the Appendix Case 4 situation in which a
+// rescued message generates several subordinates and the token is reused
+// for each.
+func fanoutPattern(width int) *protocol.Pattern {
+	inv := &protocol.Template{Name: "inv-case4", Steps: []protocol.Step{
+		{Type: message.M1, Dest: protocol.RoleHome},
+		{Type: message.M2, Dest: protocol.RoleThird, Fanout: width},
+		{Type: message.M4, Dest: protocol.RoleRequester},
+	}}
+	return &protocol.Pattern{
+		Name:      "PATCASE4",
+		Style:     protocol.StyleS1,
+		Templates: []*protocol.Template{protocol.Chain2, inv},
+		Weights:   []float64{0.2, 0.8},
+	}
+}
+
+// TestCase4MultiSubordinateRescue drives a fanout-heavy workload into
+// deadlock and verifies the multi-subordinate rescue machinery: lane
+// transfers exceed completed rescues (several deliveries per capture),
+// controllers are preempted, and everything still drains.
+func TestCase4MultiSubordinateRescue(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = fanoutPattern(3)
+	cfg.VCs = 2
+	cfg.QueueCap = 4
+	cfg.Rate = 0.012
+	cfg.Seed = 3
+	cfg.Warmup = 0
+	cfg.Measure = 15000
+	cfg.MaxDrain = 60000
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	r := n.Rescue
+	if r.Completed == 0 {
+		t.Skip("no rescues at this seed; fanout load too light")
+	}
+	if r.LaneTransfers < r.Completed {
+		t.Fatalf("lane transfers %d < completed rescues %d", r.LaneTransfers, r.Completed)
+	}
+	if !n.Quiescent() {
+		t.Fatalf("fanout system did not drain: %d txns", n.Table.Len())
+	}
+	t.Logf("rescues=%d laneTransfers=%d preemptions=%d maxDepth=%d",
+		r.Completed, r.LaneTransfers, r.Preemptions, r.MaxDepth)
+}
+
+// TestCase4TokenReuseObserved uses extreme pressure to force at least one
+// rescue that reuses the token for multiple subordinates or chains deeper
+// than one frame.
+func TestCase4TokenReuseObserved(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg := network.DefaultConfig()
+		cfg.Radix = []int{4, 4}
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = fanoutPattern(4)
+		cfg.VCs = 2
+		cfg.QueueCap = 4
+		cfg.Rate = 0.015
+		cfg.Seed = seed
+		cfg.Warmup = 0
+		cfg.Measure = 12000
+		cfg.MaxDrain = 60000
+		n, err := network.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		if !n.Quiescent() {
+			t.Fatalf("seed %d: did not drain", seed)
+		}
+		if n.Rescue.MaxDepth >= 2 || n.Rescue.LaneTransfers > n.Rescue.Completed {
+			t.Logf("seed %d: depth=%d transfers=%d rescues=%d — token reuse observed",
+				seed, n.Rescue.MaxDepth, n.Rescue.LaneTransfers, n.Rescue.Completed)
+			return
+		}
+	}
+	t.Fatal("token reuse (Case 3/4) never observed across seeds")
+}

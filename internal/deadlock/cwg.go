@@ -1,0 +1,328 @@
+// Package deadlock implements the channel-wait-for-graph (CWG) deadlock
+// observer used for characterization, modelled on FlexSim 1.2's detector as
+// described in Section 4.1: resource wait-for relationships across virtual
+// channels and network-interface queues are examined periodically (every 50
+// cycles by default), and a deadlock is a knot — a set of blocked resources
+// from which no progressing resource is reachable along wait-for edges. The
+// observer is independent of the handling schemes' own detectors: strict
+// avoidance runs should report zero knots (a correctness check), while
+// recovery runs use it to count deadlock frequency.
+package deadlock
+
+import (
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Host exposes the simulated system's state to the detector.
+type Host interface {
+	// Topology returns the torus.
+	Topology() *topology.Torus
+	// AllChannels returns every physical channel.
+	AllChannels() []*router.Channel
+	// AllNIs returns every network interface, indexed by endpoint.
+	AllNIs() []*netiface.NI
+	// RouteCandidates returns the routing candidates for pkt at router r.
+	RouteCandidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC
+	// RouterByID returns the router with the given ID.
+	RouterByID(id topology.NodeID) *router.Router
+	// QueueOf maps a message to its NI queue index.
+	QueueOf(m *message.Message) int
+	// SubQueueOf returns the queue index and count of m's subordinates,
+	// ok=false for terminating messages.
+	SubQueueOf(m *message.Message) (q, count int, ok bool)
+	// InjectVCsOf returns the injection VC indices allowed for m.
+	InjectVCsOf(m *message.Message) []int
+	// VCsPerChannel returns the (uniform) virtual channel count.
+	VCsPerChannel() int
+}
+
+// Detector scans a Host for knots.
+type Detector struct {
+	host Host
+
+	// vertex layout: channel VCs first, then per-NI input queues, then
+	// per-NI output queues.
+	numVC    int
+	inBase   int
+	outBase  int
+	total    int
+	queues   int
+	prevLock []bool
+
+	// Scans counts performed scans; Deadlocks counts newly deadlocked
+	// knot components across scans; LastDeadlocked is the resource count
+	// of the most recent scan's deadlocked set.
+	Scans          int64
+	Deadlocks      int64
+	LastDeadlocked int
+}
+
+// NewDetector builds a detector over the host.
+func NewDetector(h Host) *Detector {
+	d := &Detector{host: h}
+	d.numVC = len(h.AllChannels()) * h.VCsPerChannel()
+	d.queues = 1
+	if nis := h.AllNIs(); len(nis) > 0 {
+		d.queues = nis[0].Cfg.Queues
+	}
+	d.inBase = d.numVC
+	d.outBase = d.inBase + len(h.AllNIs())*d.queues
+	d.total = d.outBase + len(h.AllNIs())*d.queues
+	d.prevLock = make([]bool, d.total)
+	return d
+}
+
+func (d *Detector) vcVertex(ch *router.Channel, idx int) int {
+	return ch.ID*d.host.VCsPerChannel() + idx
+}
+
+func (d *Detector) inVertex(ep, q int) int  { return d.inBase + ep*d.queues + q }
+func (d *Detector) outVertex(ep, q int) int { return d.outBase + ep*d.queues + q }
+
+// consumerRouter returns the router that consumes flits from a channel (for
+// link channels the downstream router; for injection channels the local
+// router). Ejection channels are consumed by the NI and handled separately.
+func consumerRouter(ch *router.Channel) topology.NodeID {
+	if ch.Kind == router.KindLink {
+		return ch.Dst
+	}
+	return ch.Src
+}
+
+// Scan inspects the system and returns the number of resources currently in
+// a knot and the number of newly formed knot components since the previous
+// scan.
+func (d *Detector) Scan() (deadlockedResources, newKnots int) {
+	h := d.host
+	tor := h.Topology()
+
+	blocked := make([]bool, d.total)
+	live := make([]bool, d.total)
+	// adjacency: wait-for edges u -> v (u waits for v).
+	adj := make([][]int32, d.total)
+	addEdge := func(u, v int) { adj[u] = append(adj[u], int32(v)) }
+
+	// --- channel VCs ---
+	for _, ch := range h.AllChannels() {
+		for _, vc := range ch.VCs {
+			f, ok := vc.Front()
+			if !ok {
+				continue
+			}
+			u := d.vcVertex(ch, vc.Index)
+			if f.Pkt.BeingRescued {
+				live[u] = true
+				continue
+			}
+			if ch.Kind == router.KindEject {
+				// Consumed by the NI: body flits and preallocated
+				// sinks always progress; a header needing a queue slot
+				// waits on the input queue.
+				ep := tor.EndpointID(topology.Endpoint{Router: ch.Src, Local: ch.Local})
+				m := f.Pkt.Msg
+				if !f.Head() || m.Preallocated {
+					live[u] = true
+					continue
+				}
+				q := h.QueueOf(m)
+				if h.AllNIs()[ep].InSpace(q) {
+					live[u] = true
+				} else {
+					blocked[u] = true
+					addEdge(u, d.inVertex(ep, q))
+				}
+				continue
+			}
+			// Link or injection channel: consumed by a router.
+			if vc.Route != nil {
+				if vc.Route.SpaceFor() {
+					live[u] = true
+				} else {
+					blocked[u] = true
+					addEdge(u, d.vcVertex(vc.Route.Ch, vc.Route.Index))
+				}
+				continue
+			}
+			if !f.Head() {
+				// A body flit with no route can only occur transiently
+				// (route cleared as the tail left a previous buffer is
+				// impossible since route lives on this VC); treat as
+				// live defensively.
+				live[u] = true
+				continue
+			}
+			// Unrouted header: waits on any candidate output VC.
+			r := consumerRouter(ch)
+			cands := h.RouteCandidates(r, f.Pkt)
+			free := false
+			rt := h.RouterByID(r)
+			for _, c := range cands {
+				out := rt.Outputs[c.Port].VCs[c.VC]
+				if out.Owner == nil {
+					free = true
+					break
+				}
+			}
+			if free {
+				live[u] = true
+				continue
+			}
+			blocked[u] = true
+			for _, c := range cands {
+				out := rt.Outputs[c.Port].VCs[c.VC]
+				addEdge(u, d.vcVertex(out.Ch, out.Index))
+			}
+		}
+	}
+
+	// --- NI queues ---
+	for ep, ni := range h.AllNIs() {
+		for q := 0; q < d.queues; q++ {
+			// Input queue: progresses when the controller can service
+			// its head (output space for the subordinates).
+			if m, ok := ni.Head(q); ok {
+				u := d.inVertex(ep, q)
+				subQ, count, has := h.SubQueueOf(m)
+				if !has || ni.OutSpace(subQ, count) {
+					live[u] = true
+				} else {
+					blocked[u] = true
+					addEdge(u, d.outVertex(ep, subQ))
+				}
+			}
+			// Output queue: progresses when its head can stream a flit
+			// into the injection channel.
+			hm, pkt, vcAlloc, ok := ni.OutHead(q)
+			if !ok {
+				continue
+			}
+			u := d.outVertex(ep, q)
+			if vcAlloc != nil {
+				if vcAlloc.SpaceFor() {
+					live[u] = true
+				} else {
+					blocked[u] = true
+					addEdge(u, d.vcVertex(vcAlloc.Ch, vcAlloc.Index))
+				}
+				continue
+			}
+			_ = pkt
+			free := false
+			var cands []int
+			for _, idx := range h.InjectVCsOf(hm) {
+				vc := ni.Inject.VCs[idx]
+				if vc.Owner == nil {
+					free = true
+					break
+				}
+				cands = append(cands, idx)
+			}
+			if free {
+				live[u] = true
+				continue
+			}
+			blocked[u] = true
+			for _, idx := range cands {
+				addEdge(u, d.vcVertex(ni.Inject, idx))
+			}
+		}
+	}
+
+	// --- knot computation ---
+	// A blocked resource escapes the knot if some wait-for path reaches a
+	// non-blocked resource: explicitly live ones, but also any resource
+	// that is simply not stuck (an empty VC that an in-flight worm will
+	// advance into, an idle queue, ...). Only waiting chains confined
+	// entirely to blocked resources form a knot. Reverse BFS from all
+	// non-blocked vertices over reversed edges.
+	radj := make([][]int32, d.total)
+	for u := range adj {
+		for _, v := range adj[u] {
+			radj[v] = append(radj[v], int32(u))
+		}
+	}
+	reach := make([]bool, d.total)
+	queue := make([]int32, 0, d.total)
+	for v := 0; v < d.total; v++ {
+		if live[v] || !blocked[v] {
+			reach[v] = true
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range radj[v] {
+			if !reach[u] {
+				reach[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	locked := make([]bool, d.total)
+	for v := 0; v < d.total; v++ {
+		if blocked[v] && !reach[v] {
+			locked[v] = true
+			deadlockedResources++
+		}
+	}
+
+	// Publish knot membership on the VCs themselves so the progressive
+	// recovery engine can target genuinely deadlocked packets.
+	for _, ch := range h.AllChannels() {
+		for _, vc := range ch.VCs {
+			vc.Knotted = locked[d.vcVertex(ch, vc.Index)]
+		}
+	}
+
+	// Count newly formed knot components: weakly connected components of
+	// the deadlocked subgraph containing at least one resource that was
+	// not deadlocked in the previous scan.
+	visited := make([]bool, d.total)
+	und := make([][]int32, d.total)
+	for u := range adj {
+		if !locked[u] {
+			continue
+		}
+		for _, v := range adj[u] {
+			if locked[v] {
+				und[u] = append(und[u], v)
+				und[v] = append(und[v], int32(u))
+			}
+		}
+	}
+	for v := 0; v < d.total; v++ {
+		if !locked[v] || visited[v] {
+			continue
+		}
+		// BFS this component.
+		comp := []int32{int32(v)}
+		visited[v] = true
+		fresh := !d.prevLock[v]
+		for i := 0; i < len(comp); i++ {
+			for _, w := range und[comp[i]] {
+				if !visited[w] {
+					visited[w] = true
+					comp = append(comp, w)
+					if !d.prevLock[w] {
+						fresh = true
+					}
+				}
+			}
+		}
+		if fresh {
+			newKnots++
+		}
+	}
+
+	d.prevLock = locked
+	d.Scans++
+	d.Deadlocks += int64(newKnots)
+	d.LastDeadlocked = deadlockedResources
+	return deadlockedResources, newKnots
+}

@@ -1,0 +1,156 @@
+package deadlock_test
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+func net(t *testing.T, kind schemes.Kind, pat *protocol.Pattern, vcs int, rate float64, qcap int, seed uint64) *network.Network {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = kind
+	cfg.Pattern = pat
+	cfg.VCs = vcs
+	cfg.QueueCap = qcap
+	cfg.Rate = rate
+	cfg.Seed = seed
+	cfg.Warmup = 0
+	cfg.Measure = 8000
+	cfg.MaxDrain = 0
+	cfg.CWGInterval = 1 << 40 // installed, driven manually
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestEmptyNetworkHasNoKnots(t *testing.T) {
+	n := net(t, schemes.PR, protocol.PAT271, 4, 0, 16, 1)
+	locked, fresh := n.Detector.Scan()
+	if locked != 0 || fresh != 0 {
+		t.Fatalf("idle network reported %d locked resources", locked)
+	}
+}
+
+func TestLightLoadHasNoKnots(t *testing.T) {
+	n := net(t, schemes.PR, protocol.PAT271, 4, 0.003, 16, 2)
+	for i := 0; i < 40; i++ {
+		n.RunCycles(100)
+		if locked, _ := n.Detector.Scan(); locked != 0 {
+			t.Fatalf("light load produced a knot at cycle %d (%d resources)", i*100, locked)
+		}
+	}
+}
+
+// TestSANeverKnotsUnderStress is the detector-level statement of strict
+// avoidance's correctness guarantee: scanning every 50 cycles through deep
+// congestion must find nothing.
+func TestSANeverKnotsUnderStress(t *testing.T) {
+	n := net(t, schemes.SA, protocol.PAT721, 8, 0.03, 8, 3)
+	for i := 0; i < 160; i++ {
+		n.RunCycles(50)
+		if locked, _ := n.Detector.Scan(); locked != 0 {
+			t.Fatalf("SA knot at cycle %d: %d resources", i*50, locked)
+		}
+	}
+}
+
+// TestKnotsFormWithoutRecovery disables all recovery (PR with an
+// unreachable detection threshold and token far away is hard to arrange;
+// instead use enormous thresholds so recovery never triggers) and verifies
+// the observer sees persistent knots under saturation — the detector's
+// positive test.
+func TestKnotsFormWithoutRecovery(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 2
+	cfg.QueueCap = 2
+	cfg.Rate = 0.03
+	cfg.Seed = 5
+	cfg.Warmup = 0
+	cfg.Measure = 20000
+	cfg.MaxDrain = 0
+	cfg.CWGInterval = 1 << 40
+	cfg.DetectThreshold = 1 << 30 // endpoint detection never fires
+	cfg.RouterTimeout = 1 << 30   // router timeout never fires
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanning publishes knot flags that the recovery engine would act on;
+	// truly disable recovery by losing the token (no regeneration
+	// watchdog is armed).
+	n.Token.Lose()
+	sawKnot := false
+	for i := 0; i < 100 && !sawKnot; i++ {
+		n.RunCycles(100)
+		locked, fresh := n.Detector.Scan()
+		if locked > 0 && fresh > 0 {
+			sawKnot = true
+		}
+	}
+	if !sawKnot {
+		t.Fatal("saturated unrecovered PR network never formed an observable knot")
+	}
+	// Without recovery the knot must persist across scans but not be
+	// re-counted as new.
+	before := n.Detector.Deadlocks
+	n.RunCycles(100)
+	locked, _ := n.Detector.Scan()
+	if locked == 0 {
+		t.Fatal("knot vanished without recovery")
+	}
+	n.RunCycles(100)
+	n.Detector.Scan()
+	// Allow growth (new knots can still form) but the same knot must not
+	// inflate the counter unboundedly: counted knots grow by less than
+	// scans performed.
+	if n.Detector.Deadlocks-before > 10 {
+		t.Fatalf("persistent knot recounted: %d new knots in 2 scans", n.Detector.Deadlocks-before)
+	}
+}
+
+// TestRecoveryClearsKnots verifies the detector and the recovery engine
+// agree: with PR recovery active, knots observed mid-run are gone by drain.
+func TestRecoveryClearsKnots(t *testing.T) {
+	cfg := network.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 2
+	cfg.QueueCap = 2
+	cfg.Rate = 0.025
+	cfg.Seed = 9
+	cfg.Warmup = 0
+	cfg.Measure = 10000
+	cfg.MaxDrain = 40000
+	cfg.CWGInterval = 50
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if !n.Quiescent() {
+		t.Fatalf("did not drain (%d txns left)", n.Table.Len())
+	}
+	if locked, _ := n.Detector.Scan(); locked != 0 {
+		t.Fatalf("knot outlived drain: %d resources", locked)
+	}
+}
+
+func TestScanCountsAccumulate(t *testing.T) {
+	n := net(t, schemes.PR, protocol.PAT100, 4, 0.005, 16, 7)
+	n.RunCycles(500)
+	n.Detector.Scan()
+	n.Detector.Scan()
+	if n.Detector.Scans != 2 {
+		t.Fatalf("scan counter = %d", n.Detector.Scans)
+	}
+}

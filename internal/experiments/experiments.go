@@ -1,0 +1,241 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): Table 1 and Figure 6 from trace-driven runs, the
+// Section 4.2.2 deadlock characterization, the Burton-Normal-Form
+// latency/throughput figures 8-10 across virtual-channel counts, the queue
+// allocation ablation of Figure 11, and the deadlock-frequency
+// characterization. Each experiment prints a self-describing text report
+// and returns structured series for further processing.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netiface"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+	"repro/internal/stats"
+)
+
+// Scale selects run lengths: Full matches the paper (30,000 measured cycles
+// beyond warmup per point), Quick is for interactive use, Smoke for CI.
+type Scale struct {
+	Name     string
+	Warmup   int64
+	Measure  int64
+	MaxDrain int64
+	// Rates is the applied-load ladder for BNF sweeps (request-generation
+	// probability per node per cycle).
+	Rates []float64
+	// TraceCycles is the trace length generated for application runs.
+	TraceCycles int64
+}
+
+// Canonical scales.
+var (
+	Full = Scale{
+		Name: "full", Warmup: 5000, Measure: 30000, MaxDrain: 30000,
+		Rates: []float64{0.001, 0.002, 0.004, 0.006, 0.008, 0.010, 0.012,
+			0.014, 0.016, 0.018, 0.020, 0.024, 0.028},
+		TraceCycles: 120000,
+	}
+	Quick = Scale{
+		Name: "quick", Warmup: 2000, Measure: 8000, MaxDrain: 10000,
+		Rates: []float64{0.002, 0.005, 0.008, 0.010, 0.012, 0.014, 0.016,
+			0.020, 0.024},
+		TraceCycles: 50000,
+	}
+	Smoke = Scale{
+		Name: "smoke", Warmup: 500, Measure: 2500, MaxDrain: 4000,
+		Rates:       []float64{0.004, 0.010, 0.016},
+		TraceCycles: 15000,
+	}
+)
+
+// ScaleByName resolves a scale.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "full":
+		return Full, nil
+	case "quick":
+		return Quick, nil
+	case "smoke":
+		return Smoke, nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q", name)
+}
+
+// baseConfig returns the Table 2 defaults at a given scale.
+func baseConfig(s Scale) network.Config {
+	cfg := network.DefaultConfig()
+	cfg.Warmup = s.Warmup
+	cfg.Measure = s.Measure
+	cfg.MaxDrain = s.MaxDrain
+	return cfg
+}
+
+// runPoint executes one configuration and converts its statistics to a BNF
+// point.
+func runPoint(cfg network.Config) (stats.Point, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return stats.Point{}, err
+	}
+	n.Run()
+	s := n.Stats
+	return stats.Point{
+		Applied:     cfg.Rate,
+		Throughput:  s.Throughput(),
+		Latency:     s.AvgLatency(),
+		TxnLatency:  s.AvgTxnLatency(),
+		Deflections: s.Deflections,
+		Rescues:     s.Rescues,
+		Deadlocks:   s.CWGDeadlocks,
+		Delivered:   s.DeliveredMsgs,
+	}, nil
+}
+
+// Sweep produces one BNF series for a scheme configuration, walking the
+// applied-load ladder "up to a point just beyond saturation" (Section
+// 4.3.1): the sweep stops after throughput drops below its running maximum,
+// keeping that first beyond-saturation point.
+func Sweep(cfg network.Config, rates []float64, name string) (stats.Series, error) {
+	series := stats.Series{Name: name}
+	best := 0.0
+	for _, r := range rates {
+		cfg.Rate = r
+		p, err := runPoint(cfg)
+		if err != nil {
+			return series, err
+		}
+		series.Points = append(series.Points, p)
+		if p.Throughput > best {
+			best = p.Throughput
+		} else if p.Throughput < 0.97*best {
+			break
+		}
+	}
+	return series, nil
+}
+
+// schemeLabel names a series like the figures' legends.
+func schemeLabel(kind schemes.Kind, qa bool) string {
+	if qa {
+		return kind.String() + "-QA"
+	}
+	return kind.String()
+}
+
+// FigBNF regenerates one latency-throughput figure: every scheme valid at
+// the given VC count, for each listed pattern. Invalid configurations are
+// skipped exactly where the paper omits the corresponding curves (SA at 4
+// VCs for chains > 2; DR for PAT100).
+func FigBNF(w io.Writer, s Scale, title string, vcs int, pats []*protocol.Pattern, seed uint64) ([]stats.Series, error) {
+	var all []stats.Series
+	fmt.Fprintf(w, "=== %s (8x8 torus, %d VCs, scale=%s) ===\n", title, vcs, s.Name)
+	for _, pat := range pats {
+		var series []stats.Series
+		for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
+			cfg := baseConfig(s)
+			cfg.Scheme = kind
+			cfg.Pattern = pat
+			cfg.VCs = vcs
+			cfg.Seed = seed
+			if _, err := schemes.New(kind, pat, vcs, -1); err != nil {
+				fmt.Fprintf(w, "%s/%s: omitted (%v)\n", pat.Name, kind, err)
+				continue
+			}
+			sr, err := Sweep(cfg, s.Rates, fmt.Sprintf("%s/%s", pat.Name, kind))
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, sr)
+		}
+		fmt.Fprint(w, stats.FormatBNF(fmt.Sprintf("-- %s --", pat.Name), series))
+		fmt.Fprint(w, stats.PlotBNF(fmt.Sprintf("-- %s (BNF plot) --", pat.Name), series, 64, 16, 0))
+		all = append(all, series...)
+	}
+	return all, nil
+}
+
+// Fig8 regenerates Figure 8: 4 virtual channels, all five patterns.
+func Fig8(w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(w, s, "Figure 8", 4, protocol.Patterns, 8)
+}
+
+// Fig9 regenerates Figure 9: 8 virtual channels, all five patterns.
+func Fig9(w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(w, s, "Figure 9", 8, protocol.Patterns, 9)
+}
+
+// Fig10 regenerates Figure 10: 16 virtual channels; the paper plots
+// PAT721/451/271/280 (PAT100 adds nothing at that point).
+func Fig10(w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(w, s, "Figure 10", 16,
+		[]*protocol.Pattern{protocol.PAT721, protocol.PAT451, protocol.PAT271, protocol.PAT280}, 10)
+}
+
+// Fig11 regenerates Figure 11: message-queue allocation ablation at 16 VCs
+// with the 4-type PAT271 pattern — SA versus DR and PR with shared(-class)
+// queues and with per-type queues (QA).
+func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
+	fmt.Fprintf(w, "=== Figure 11 (PAT271, 16 VCs, queue allocation, scale=%s) ===\n", s.Name)
+	type variant struct {
+		kind schemes.Kind
+		mode netiface.QueueMode
+		qa   bool
+	}
+	variants := []variant{
+		{schemes.SA, -1, false},
+		{schemes.DR, -1, false},
+		{schemes.DR, netiface.QueuePerType, true},
+		{schemes.PR, -1, false},
+		{schemes.PR, netiface.QueuePerType, true},
+	}
+	var series []stats.Series
+	for _, v := range variants {
+		cfg := baseConfig(s)
+		cfg.Scheme = v.kind
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 16
+		cfg.QueueMode = v.mode
+		cfg.Seed = 11
+		sr, err := Sweep(cfg, s.Rates, schemeLabel(v.kind, v.qa))
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, sr)
+	}
+	fmt.Fprint(w, stats.FormatBNF("-- PAT271 / 16 VC queue ablation --", series))
+	fmt.Fprint(w, stats.PlotBNF("-- PAT271 / 16 VC queue ablation (BNF plot) --", series, 64, 16, 0))
+	return series, nil
+}
+
+// DeadlockFrequency characterizes how often deadlocks form versus load for
+// the recovery schemes (the paper's normalized number of deadlocks,
+// Section 4.1), confirming deadlocks are rare until deep saturation.
+func DeadlockFrequency(w io.Writer, s Scale) error {
+	fmt.Fprintf(w, "=== Deadlock frequency vs load (PAT271, 4 VCs, scale=%s) ===\n", s.Name)
+	fmt.Fprintf(w, "%-6s %10s %12s %10s %10s %12s\n", "scheme", "applied", "throughput", "recov", "cwg-knots", "norm-dlk")
+	for _, kind := range []schemes.Kind{schemes.DR, schemes.PR} {
+		for _, r := range s.Rates {
+			cfg := baseConfig(s)
+			cfg.Scheme = kind
+			cfg.Pattern = protocol.PAT271
+			cfg.VCs = 4
+			cfg.Rate = r
+			cfg.Seed = 21
+			n, err := network.New(cfg)
+			if err != nil {
+				return err
+			}
+			n.Run()
+			st := n.Stats
+			recov := st.Deflections + st.Rescues
+			fmt.Fprintf(w, "%-6s %10.4f %12.4f %10d %10d %12.6f\n",
+				kind, r, st.Throughput(), recov, st.CWGDeadlocks, st.NormalizedDeadlocks())
+		}
+	}
+	return nil
+}

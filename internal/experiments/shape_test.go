@@ -1,0 +1,219 @@
+package experiments
+
+// Shape tests: the reproduction criteria. Absolute numbers differ from the
+// paper (our substrate is a reimplemented simulator, not the authors'
+// FlexSim build), but the qualitative results — who wins, by roughly what
+// factor, where curves converge — must hold. Each test encodes one claim
+// from Section 4.3.2.
+
+import (
+	"testing"
+
+	"repro/internal/netiface"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// saturation measures a configuration's saturation throughput with a short
+// ladder around the knee.
+func saturation(t *testing.T, kind schemes.Kind, pat *protocol.Pattern, vcs int, qmode netiface.QueueMode, rates []float64) float64 {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	cfg.Scheme = kind
+	cfg.Pattern = pat
+	cfg.VCs = vcs
+	cfg.QueueMode = qmode
+	cfg.Warmup = 2000
+	cfg.Measure = 8000
+	cfg.MaxDrain = 8000
+	cfg.Seed = 77
+	sr, err := Sweep(cfg, rates, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr.SaturationThroughput()
+}
+
+var knee = []float64{0.008, 0.012, 0.016, 0.020, 0.024}
+
+// Figure 8 (4 VCs): "PR yields up to 100% more throughput than DR for
+// PAT721" — require at least +50%.
+func TestShapeFig8PRBeatsDR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	dr := saturation(t, schemes.DR, protocol.PAT721, 4, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT721, 4, -1, knee)
+	if pr < 1.5*dr {
+		t.Fatalf("PR %.4f not >= 1.5x DR %.4f at 4 VCs on PAT721", pr, dr)
+	}
+}
+
+// Figure 8 (4 VCs): "over 100% more throughput than SA for PAT100" —
+// require at least +50%.
+func TestShapeFig8PRBeatsSAOnPAT100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	sa := saturation(t, schemes.SA, protocol.PAT100, 4, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT100, 4, -1, knee)
+	if pr < 1.5*sa {
+		t.Fatalf("PR %.4f not >= 1.5x SA %.4f at 4 VCs on PAT100", pr, sa)
+	}
+}
+
+// Figure 8: the PR advantage shrinks as the average chain length grows
+// (PAT721 avg 2.4 vs PAT271 avg 2.9) but remains positive.
+func TestShapeFig8AdvantageShrinksWithChainLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	gain := func(pat *protocol.Pattern) float64 {
+		dr := saturation(t, schemes.DR, pat, 4, -1, knee)
+		pr := saturation(t, schemes.PR, pat, 4, -1, knee)
+		return pr / dr
+	}
+	g721 := gain(protocol.PAT721)
+	g271 := gain(protocol.PAT271)
+	if g271 <= 1.0 {
+		t.Fatalf("PR no longer beats DR on PAT271 (ratio %.2f)", g271)
+	}
+	if g721 <= g271 {
+		t.Fatalf("advantage did not shrink with chain length: PAT721 %.2f <= PAT271 %.2f", g721, g271)
+	}
+}
+
+// Figure 9 (8 VCs): chain-2 traffic makes "the difference between SA and PR
+// negligible" — require within 15%.
+func TestShapeFig9SAConvergesOnPAT100(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	sa := saturation(t, schemes.SA, protocol.PAT100, 8, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT100, 8, -1, knee)
+	if diff := abs(sa-pr) / pr; diff > 0.15 {
+		t.Fatalf("SA %.4f vs PR %.4f differ by %.0f%% at 8 VCs on PAT100", sa, pr, 100*diff)
+	}
+}
+
+// Figure 9 (8 VCs): "the difference between DR and PR [is] practically
+// negligible" for chains > 2 — require within 15%.
+func TestShapeFig9DRConvergesOnPAT271(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	dr := saturation(t, schemes.DR, protocol.PAT271, 8, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT271, 8, -1, knee)
+	if diff := abs(dr-pr) / pr; diff > 0.15 {
+		t.Fatalf("DR %.4f vs PR %.4f differ by %.0f%% at 8 VCs on PAT271", dr, pr, 100*diff)
+	}
+}
+
+// Figure 9 (8 VCs): SA "saturates at an early load" on 4-type mixes (only
+// one adaptive-free partition pair per type).
+func TestShapeFig9SASaturatesEarlyOnPAT721(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	sa := saturation(t, schemes.SA, protocol.PAT721, 8, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT721, 8, -1, knee)
+	if sa >= 0.9*pr {
+		t.Fatalf("SA %.4f did not saturate early vs PR %.4f at 8 VCs on PAT721", sa, pr)
+	}
+}
+
+// Figure 10 (16 VCs): traffic balance stops mattering; endpoint queue
+// sharing makes SA at least match shared-queue PR.
+func TestShapeFig10SchemesConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	sa := saturation(t, schemes.SA, protocol.PAT271, 16, -1, knee)
+	dr := saturation(t, schemes.DR, protocol.PAT271, 16, -1, knee)
+	pr := saturation(t, schemes.PR, protocol.PAT271, 16, -1, knee)
+	if abs(sa-pr)/pr > 0.25 || abs(dr-pr)/pr > 0.25 {
+		t.Fatalf("schemes did not converge at 16 VCs: SA %.4f DR %.4f PR %.4f", sa, dr, pr)
+	}
+	if sa < 0.97*pr {
+		t.Fatalf("SA %.4f should not trail shared-queue PR %.4f at 16 VCs", sa, pr)
+	}
+}
+
+// Figure 11 (16 VCs, PAT271): per-type queues (QA) lift PR above both its
+// shared-queue self and SA.
+func TestShapeFig11QueueAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	prShared := saturation(t, schemes.PR, protocol.PAT271, 16, -1, knee)
+	prQA := saturation(t, schemes.PR, protocol.PAT271, 16, netiface.QueuePerType, knee)
+	sa := saturation(t, schemes.SA, protocol.PAT271, 16, -1, knee)
+	if prQA < prShared {
+		t.Fatalf("QA %.4f did not improve on shared %.4f", prQA, prShared)
+	}
+	if prQA < 0.97*sa {
+		t.Fatalf("PR-QA %.4f should at least match SA %.4f", prQA, sa)
+	}
+}
+
+// Figure 8: "Up to the network load at which throughput is 20%, the
+// performance gap between the schemes remains under 15% in terms of average
+// message latency."
+func TestShapeFig8LowLoadLatencyGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	lat := func(kind schemes.Kind) float64 {
+		cfg := network.DefaultConfig()
+		cfg.Scheme = kind
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 4
+		cfg.Rate = 0.006 // throughput ~0.17, under the 20% mark
+		cfg.Warmup = 2000
+		cfg.Measure = 8000
+		cfg.MaxDrain = 8000
+		cfg.Seed = 99
+		n, err := network.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		return n.Stats.AvgLatency()
+	}
+	dr, pr := lat(schemes.DR), lat(schemes.PR)
+	if gap := abs(dr-pr) / pr; gap > 0.15 {
+		t.Fatalf("low-load latency gap %.0f%% (DR %.1f vs PR %.1f), paper says under 15%%", 100*gap, dr, pr)
+	}
+}
+
+// Section 4.2/4.3: deadlocks are absent below saturation.
+func TestShapeNoDeadlocksBelowSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow shape test")
+	}
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 4
+	cfg.Rate = 0.006 // roughly half of saturation
+	cfg.Warmup = 2000
+	cfg.Measure = 10000
+	cfg.MaxDrain = 10000
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if n.Stats.CWGDeadlocks != 0 || n.Stats.Rescues != 0 {
+		t.Fatalf("deadlock activity below saturation: %d knots, %d rescues",
+			n.Stats.CWGDeadlocks, n.Stats.Rescues)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import "repro/internal/coherence"
+
+// mustCoherence builds a default MSI memory system, panicking on the
+// impossible (default config is always valid).
+func mustCoherence(nodes int) *coherence.System {
+	sys, err := coherence.New(coherence.DefaultConfig(nodes))
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}

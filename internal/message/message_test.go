@@ -1,0 +1,80 @@
+package message
+
+import "testing"
+
+func TestTypeStrings(t *testing.T) {
+	want := map[Type]string{M1: "m1", M2: "m2", M3: "m3", M4: "m4"}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if Type(9).String() == "" {
+		t.Error("unknown type has empty string")
+	}
+	if NumTypes != 4 {
+		t.Errorf("NumTypes = %d", NumTypes)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassRequest.String() != "request" || ClassReply.String() != "reply" {
+		t.Fatal("class strings wrong")
+	}
+	if NumClasses != 2 {
+		t.Fatalf("NumClasses = %d", NumClasses)
+	}
+}
+
+func TestNewMessageDefaults(t *testing.T) {
+	m := NewMessage(7, M2, 1, 3, 9, 4, 100)
+	if m.Txn != 7 || m.Type != M2 || m.Hop != 1 || m.Src != 3 || m.Dst != 9 {
+		t.Fatalf("fields wrong: %+v", m)
+	}
+	if m.Injected != -1 || m.Delivered != -1 {
+		t.Fatal("event timestamps must start at -1")
+	}
+	if m.String() == "" {
+		t.Fatal("empty stringer")
+	}
+}
+
+func TestFlitHeadTail(t *testing.T) {
+	m := NewMessage(1, M1, 0, 0, 1, 3, 0)
+	pkt := &Packet{ID: 1, Msg: m}
+	head := Flit{Pkt: pkt, Idx: 0}
+	mid := Flit{Pkt: pkt, Idx: 1}
+	tail := Flit{Pkt: pkt, Idx: 2}
+	if !head.Head() || head.Tail() {
+		t.Fatal("head flit misclassified")
+	}
+	if mid.Head() || mid.Tail() {
+		t.Fatal("body flit misclassified")
+	}
+	if tail.Head() || !tail.Tail() {
+		t.Fatal("tail flit misclassified")
+	}
+}
+
+func TestSingleFlitPacketIsHeadAndTail(t *testing.T) {
+	m := NewMessage(1, M1, 0, 0, 1, 1, 0)
+	f := Flit{Pkt: &Packet{Msg: m}, Idx: 0}
+	if !f.Head() || !f.Tail() {
+		t.Fatal("single-flit packet must be both head and tail")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	m := NewMessage(1, M1, 0, 0, 1, 4, 50)
+	if m.QueueLatency() != -1 || m.TotalLatency() != -1 {
+		t.Fatal("unset latencies must be -1")
+	}
+	m.Injected = 80
+	if m.QueueLatency() != 30 {
+		t.Fatalf("queue latency %d", m.QueueLatency())
+	}
+	m.Delivered = 130
+	if m.TotalLatency() != 80 {
+		t.Fatalf("total latency %d", m.TotalLatency())
+	}
+}

@@ -1,0 +1,622 @@
+// Package netiface models the network interface of each processing node: the
+// input and output message queues (shared, per-class, or per-type, Table 2
+// default capacity 16 messages), the memory controller that services queued
+// messages (40-clock service time) and generates their subordinate messages,
+// the MSHR preallocation path that lets awaited replies sink without queue
+// slots, injection and ejection flit streaming, and the endpoint
+// potential-deadlock detector (queues full beyond a threshold with a
+// non-terminating head, Section 2.2's three conditions).
+package netiface
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/router"
+)
+
+// QueueMode selects how message queues are partitioned at endpoints.
+type QueueMode int
+
+const (
+	// QueueShared uses one input and one output queue for all types (the
+	// progressive-recovery default).
+	QueueShared QueueMode = iota
+	// QueuePerClass uses one queue pair per request/reply class (the
+	// deflective-recovery / Origin2000 arrangement).
+	QueuePerClass
+	// QueuePerType uses one queue pair per generic message type (required
+	// by strict avoidance; the "QA" configuration of Figure 11 when used
+	// with DR or PR).
+	QueuePerType
+)
+
+func (m QueueMode) String() string {
+	switch m {
+	case QueueShared:
+		return "shared"
+	case QueuePerClass:
+		return "per-class"
+	default:
+		return "per-type"
+	}
+}
+
+// Hooks are callbacks the network layer installs to observe NI events.
+type Hooks struct {
+	// Injected fires when a message's first flit enters the network.
+	Injected func(m *message.Message, now int64)
+	// Delivered fires when a message fully arrives at its destination NI,
+	// whether over normal channels or the recovery lane.
+	Delivered func(m *message.Message, now int64)
+	// TxnComplete fires when the terminating message of a transaction
+	// sinks.
+	TxnComplete func(t *protocol.Transaction, now int64)
+	// Detect fires when the endpoint detector's conditions have held for
+	// the configured threshold on input queue q. The handling scheme
+	// decides the recovery action.
+	Detect func(ni *NI, q int, now int64)
+	// RescueServiced fires when the memory controller finishes servicing a
+	// message on behalf of the rescue engine; subs are its subordinates,
+	// which the rescue engine routes (output queue or deadlock message
+	// buffer).
+	RescueServiced func(ni *NI, m *message.Message, subs []*message.Message, now int64)
+}
+
+// Config parameterizes one NI.
+type Config struct {
+	// Endpoint is this NI's dense endpoint ID.
+	Endpoint int
+	// Queues is the number of input/output queue pairs.
+	Queues int
+	// QueueIndex maps a message type (and backoff flag) to a queue index.
+	QueueIndex func(typ message.Type, backoff bool) int
+	// QueueCap is the per-queue capacity in messages.
+	QueueCap int
+	// ServiceTime is the memory controller occupancy per serviced message.
+	ServiceTime int
+	// DetectThreshold is the number of consecutive cycles the detector's
+	// conditions must hold before firing (the paper assumes 25).
+	DetectThreshold int
+	// RetryBackoff delays re-injection of a message killed by regressive
+	// recovery by this many cycles plus a deterministic per-transaction
+	// jitter of the same magnitude; zero applies no delay.
+	RetryBackoff int64
+	// DetectFill is the queue-occupancy fraction beyond which a queue
+	// counts as "filled up beyond a threshold value" for the detector
+	// (condition 1). Zero defaults to 0.75. The paper's conditions speak
+	// of thresholds, not strict fullness: a deadlocked node whose last
+	// input slots simply never receive another ejection would otherwise
+	// escape detection.
+	DetectFill float64
+	// InjectVCs returns the virtual-channel indices a message may claim on
+	// the injection channel (the scheme's partition for its type).
+	InjectVCs func(m *message.Message) []int
+	// Engine and Table resolve transactions and derive subordinates.
+	Engine *protocol.Engine
+	Table  *protocol.Table
+	// NextPacketID allocates globally unique packet IDs.
+	NextPacketID func() message.PacketID
+	Hooks        Hooks
+}
+
+type outEntry struct {
+	msg *message.Message
+	pkt *message.Packet
+}
+
+// pendingEntry is an MSHR-generated subordinate waiting for output-queue
+// space; readyAt additionally delays retries of killed messages (regressive
+// recovery's randomized backoff, without which retries immediately re-form
+// the deadlock they escaped).
+type pendingEntry struct {
+	msg     *message.Message
+	readyAt int64
+}
+
+// NI is one network interface instance.
+type NI struct {
+	Cfg Config
+
+	// Inject is the NI-to-router injection channel (NI stages flits into
+	// it; the router consumes). Eject is the router-to-NI ejection channel
+	// (router stages; NI consumes). Both are wired by the network layer.
+	Inject *router.Channel
+	Eject  *router.Channel
+
+	sourceQ []*message.Message
+	outQ    [][]outEntry
+	outRes  []int
+	inQ     [][]*message.Message
+	inAlloc []int
+
+	pendingGen []pendingEntry
+
+	ctrlBusyUntil  int64
+	ctrlMsg        *message.Message
+	ctrlFromRescue bool
+
+	rescueReq *message.Message
+
+	streak []int64
+
+	ctrlRR int
+	injRR  int
+	ejRR   int
+
+	// WantRescue is set by the handling scheme when an endpoint detection
+	// fired and progressive recovery should capture the token here.
+	WantRescue bool
+
+	// ServicedCount counts normal controller services (for utilization
+	// statistics); DeflectCount counts deflection pops performed here.
+	ServicedCount int64
+	DeflectCount  int64
+}
+
+// New constructs an NI from its config.
+func New(cfg Config) *NI {
+	if cfg.Queues <= 0 || cfg.QueueCap <= 0 || cfg.ServiceTime <= 0 {
+		panic(fmt.Sprintf("netiface: bad config %+v", cfg))
+	}
+	ni := &NI{Cfg: cfg}
+	ni.outQ = make([][]outEntry, cfg.Queues)
+	ni.outRes = make([]int, cfg.Queues)
+	ni.inQ = make([][]*message.Message, cfg.Queues)
+	ni.inAlloc = make([]int, cfg.Queues)
+	ni.streak = make([]int64, cfg.Queues)
+	return ni
+}
+
+// queueOf maps a message to its queue index.
+func (n *NI) queueOf(m *message.Message) int {
+	return n.Cfg.QueueIndex(m.Type, m.Backoff || m.Nack)
+}
+
+// EnqueueSource adds a newly generated request to the (unbounded) source
+// queue feeding the output queues; open-loop generation measures source
+// waiting time as part of message latency.
+func (n *NI) EnqueueSource(m *message.Message) {
+	n.sourceQ = append(n.sourceQ, m)
+}
+
+// SourceBacklog returns the number of generated requests not yet accepted
+// into an output queue.
+func (n *NI) SourceBacklog() int { return len(n.sourceQ) }
+
+// OutSpace reports whether output queue q can accept k more messages beyond
+// existing content and reservations.
+func (n *NI) OutSpace(q, k int) bool {
+	return len(n.outQ[q])+n.outRes[q]+k <= n.Cfg.QueueCap
+}
+
+// OutFull reports whether output queue q is full (no free unreserved slot).
+func (n *NI) OutFull(q int) bool { return !n.OutSpace(q, 1) }
+
+// InSpace reports whether input queue q has a free slot (counting slots
+// already promised to in-flight ejections).
+func (n *NI) InSpace(q int) bool {
+	return len(n.inQ[q])+n.inAlloc[q] < n.Cfg.QueueCap
+}
+
+// InQueueLen returns the committed occupancy of input queue q.
+func (n *NI) InQueueLen(q int) int { return len(n.inQ[q]) }
+
+// OutQueueLen returns the occupancy of output queue q.
+func (n *NI) OutQueueLen(q int) int { return len(n.outQ[q]) }
+
+// Head returns the message at the head of input queue q.
+func (n *NI) Head(q int) (*message.Message, bool) {
+	if len(n.inQ[q]) == 0 {
+		return nil, false
+	}
+	return n.inQ[q][0], true
+}
+
+// PopHead removes and returns the head of input queue q. Recovery actions
+// (deflection, rescue initiation) use this; it panics on an empty queue.
+func (n *NI) PopHead(q int) *message.Message {
+	m := n.inQ[q][0]
+	n.inQ[q] = n.inQ[q][1:]
+	return m
+}
+
+// EnqueueOut places m directly into its output queue, creating its packet.
+// The caller must have checked OutSpace. Used for backoff replies and for
+// rescue subordinates that fit.
+func (n *NI) EnqueueOut(m *message.Message) {
+	q := n.queueOf(m)
+	if !n.OutSpace(q, 1) {
+		panic("netiface: EnqueueOut without space")
+	}
+	pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: m}
+	n.outQ[q] = append(n.outQ[q], outEntry{msg: m, pkt: pkt})
+}
+
+// CtrlIdle reports whether the memory controller is idle this cycle.
+func (n *NI) CtrlIdle(now int64) bool {
+	return n.ctrlMsg == nil && now >= n.ctrlBusyUntil
+}
+
+// RequestRescueService asks the controller to service m with priority on
+// behalf of the rescue engine ("the memory controller is preempted after it
+// completes its current operation"). It returns false if a rescue service
+// is already pending or in progress.
+func (n *NI) RequestRescueService(m *message.Message) bool {
+	if n.rescueReq != nil || (n.ctrlMsg != nil && n.ctrlFromRescue) {
+		return false
+	}
+	n.rescueReq = m
+	return true
+}
+
+// RescueBusy reports whether a rescue service is pending or running.
+func (n *NI) RescueBusy() bool {
+	return n.rescueReq != nil || (n.ctrlMsg != nil && n.ctrlFromRescue)
+}
+
+// DeliverMessage is the common arrival path for a fully received message,
+// from the ejection channel or the recovery lane: preallocated messages sink
+// through the MSHR path (completing transactions or scheduling subordinate
+// generation); everything else joins its input queue. reserved indicates the
+// input-queue slot was already allocated at header time (normal ejection).
+func (n *NI) DeliverMessage(m *message.Message, now int64, reserved bool) {
+	m.Delivered = now
+	if n.Cfg.Hooks.Delivered != nil {
+		n.Cfg.Hooks.Delivered(m, now)
+	}
+	if m.Preallocated {
+		n.sinkPreallocated(m, now)
+		return
+	}
+	q := n.queueOf(m)
+	if reserved {
+		n.inAlloc[q]--
+	}
+	n.inQ[q] = append(n.inQ[q], m)
+}
+
+// sinkPreallocated consumes a message for which this endpoint holds
+// preallocated resources: terminating messages complete their transaction;
+// non-terminating ones (a reply awaited by the home, or a backoff reply at
+// the requester) schedule their subordinates through the MSHR completion
+// path, which needs no controller occupancy but does wait for output-queue
+// space.
+func (n *NI) sinkPreallocated(m *message.Message, now int64) {
+	txn := n.Cfg.Table.Get(m.Txn)
+	if n.Cfg.Engine.IsTerminating(txn, m) {
+		if n.Cfg.Engine.RecordDelivery(txn, m, now) {
+			if n.Cfg.Hooks.TxnComplete != nil {
+				n.Cfg.Hooks.TxnComplete(txn, now)
+			}
+			n.Cfg.Table.Remove(txn.ID)
+		}
+		return
+	}
+	subs := n.Cfg.Engine.Subordinates(txn, m, now)
+	readyAt := now
+	if m.Nack && n.Cfg.RetryBackoff > 0 {
+		// Exponential backoff with deterministic per-transaction jitter:
+		// repeated kills spread retries out until contention clears.
+		shift := m.Retries
+		if shift > 6 {
+			shift = 6
+		}
+		base := n.Cfg.RetryBackoff << uint(shift)
+		readyAt = now + base + int64(m.Txn)%base
+	}
+	for _, sub := range subs {
+		n.pendingGen = append(n.pendingGen, pendingEntry{msg: sub, readyAt: readyAt})
+	}
+}
+
+// Step runs one NI cycle.
+func (n *NI) Step(now int64) {
+	n.drainEjection(now)
+	n.controller(now)
+	n.drainPendingGen(now)
+	n.drainSource(now)
+	n.inject(now)
+	n.detect(now)
+}
+
+// drainEjection pulls at most one flit per cycle from the ejection channel,
+// choosing round-robin among VCs whose front flit can progress: body flits
+// always can; header flits need a sink (MSHR preallocation) or a free
+// input-queue slot, which is claimed at header time so a worm never stalls
+// mid-delivery for queue space.
+func (n *NI) drainEjection(now int64) {
+	if n.Eject == nil {
+		return
+	}
+	vcs := n.Eject.VCs
+	for k := 0; k < len(vcs); k++ {
+		vc := vcs[(n.ejRR+k)%len(vcs)]
+		f, ok := vc.Front()
+		if !ok {
+			continue
+		}
+		m := f.Pkt.Msg
+		if f.Head() && !m.Preallocated {
+			q := n.queueOf(m)
+			if !n.InSpace(q) {
+				continue
+			}
+			n.inAlloc[q]++
+		}
+		vc.Dequeue(now)
+		f.Pkt.ArrivedFlits++
+		if f.Tail() {
+			n.DeliverMessage(m, now, !m.Preallocated)
+		}
+		n.ejRR++
+		return
+	}
+	n.ejRR++
+}
+
+// controller advances the memory controller: finish the current service,
+// then start the next (rescue requests take priority over queue service, and
+// queue service requires output space for every subordinate, which is
+// reserved up front).
+func (n *NI) controller(now int64) {
+	if n.ctrlMsg != nil && now >= n.ctrlBusyUntil {
+		m := n.ctrlMsg
+		fromRescue := n.ctrlFromRescue
+		n.ctrlMsg = nil
+		n.ctrlFromRescue = false
+		txn := n.Cfg.Table.Get(m.Txn)
+		subs := n.Cfg.Engine.Subordinates(txn, m, now)
+		if fromRescue {
+			if n.Cfg.Hooks.RescueServiced != nil {
+				n.Cfg.Hooks.RescueServiced(n, m, subs, now)
+			}
+		} else {
+			n.ServicedCount++
+			for _, sub := range subs {
+				q := n.queueOf(sub)
+				n.outRes[q]--
+				pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: sub}
+				n.outQ[q] = append(n.outQ[q], outEntry{msg: sub, pkt: pkt})
+			}
+		}
+	}
+	if n.ctrlMsg != nil || now < n.ctrlBusyUntil {
+		return
+	}
+	// Rescue service preempts queue service.
+	if n.rescueReq != nil {
+		n.ctrlMsg = n.rescueReq
+		n.rescueReq = nil
+		n.ctrlFromRescue = true
+		n.ctrlBusyUntil = now + int64(n.Cfg.ServiceTime)
+		return
+	}
+	// Pick the next serviceable input-queue head, round-robin across
+	// queues for fairness between message types.
+	for k := 0; k < n.Cfg.Queues; k++ {
+		q := (n.ctrlRR + k) % n.Cfg.Queues
+		if len(n.inQ[q]) == 0 {
+			continue
+		}
+		m := n.inQ[q][0]
+		txn := n.Cfg.Table.Get(m.Txn)
+		typ, count, _, ok := n.Cfg.Engine.NextStepInfo(txn, m)
+		if !ok {
+			// Terminating messages never occupy input queues (they sink
+			// via preallocation); treat defensively as directly
+			// consumable.
+			n.inQ[q] = n.inQ[q][1:]
+			continue
+		}
+		subQ := n.Cfg.QueueIndex(typ, false)
+		if !n.OutSpace(subQ, count) {
+			continue
+		}
+		n.outRes[subQ] += count
+		n.inQ[q] = n.inQ[q][1:]
+		n.ctrlMsg = m
+		n.ctrlBusyUntil = now + int64(n.Cfg.ServiceTime)
+		n.ctrlRR = q + 1
+		return
+	}
+	n.ctrlRR++
+}
+
+// drainPendingGen moves MSHR-generated subordinates into their output queues
+// as space (beyond reservations) and retry backoff permit, preserving order.
+func (n *NI) drainPendingGen(now int64) {
+	if len(n.pendingGen) == 0 {
+		return
+	}
+	kept := n.pendingGen[:0]
+	for _, e := range n.pendingGen {
+		q := n.queueOf(e.msg)
+		if now >= e.readyAt && n.OutSpace(q, 1) {
+			pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: e.msg}
+			n.outQ[q] = append(n.outQ[q], outEntry{msg: e.msg, pkt: pkt})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	n.pendingGen = kept
+}
+
+// drainSource admits generated requests into their output queue.
+func (n *NI) drainSource(now int64) {
+	for len(n.sourceQ) > 0 {
+		m := n.sourceQ[0]
+		q := n.queueOf(m)
+		if !n.OutSpace(q, 1) {
+			return
+		}
+		pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: m}
+		n.outQ[q] = append(n.outQ[q], outEntry{msg: m, pkt: pkt})
+		n.sourceQ = n.sourceQ[1:]
+	}
+	_ = now
+}
+
+// inject streams flits of output-queue heads into the injection channel: a
+// head first claims an allowed free VC, then competing claimed heads share
+// the channel's one-flit-per-cycle bandwidth round-robin. A message leaves
+// its queue slot when its tail flit is staged.
+func (n *NI) inject(now int64) {
+	if n.Inject == nil {
+		return
+	}
+	// Allocate VCs for queue heads that lack one.
+	for q := 0; q < n.Cfg.Queues; q++ {
+		if len(n.outQ[q]) == 0 {
+			continue
+		}
+		e := n.outQ[q][0]
+		if n.vcFor(e.pkt) != nil {
+			continue
+		}
+		for _, idx := range n.Cfg.InjectVCs(e.msg) {
+			vc := n.Inject.VCs[idx]
+			if vc.Owner == nil {
+				vc.Owner = e.pkt
+				break
+			}
+		}
+	}
+	// Stream one flit from one claimed head.
+	for k := 0; k < n.Cfg.Queues; k++ {
+		q := (n.injRR + k) % n.Cfg.Queues
+		if len(n.outQ[q]) == 0 {
+			continue
+		}
+		e := n.outQ[q][0]
+		vc := n.vcFor(e.pkt)
+		if vc == nil || !vc.SpaceFor() {
+			continue
+		}
+		if e.pkt.SentFlits == 0 {
+			e.msg.Injected = now
+			if n.Cfg.Hooks.Injected != nil {
+				n.Cfg.Hooks.Injected(e.msg, now)
+			}
+		}
+		vc.Stage(message.Flit{Pkt: e.pkt, Idx: e.pkt.SentFlits})
+		e.pkt.SentFlits++
+		if e.pkt.SentFlits == e.msg.Flits {
+			n.outQ[q] = n.outQ[q][1:]
+		}
+		n.injRR = q + 1
+		return
+	}
+	n.injRR++
+}
+
+// AbortInjection removes pkt from the head of its output queue when the
+// rescue engine evacuates a partially injected packet into the recovery
+// lane: the un-sent remainder of the worm drains through the deadlock
+// message buffer instead of the injection channel. It returns whether the
+// packet was found streaming here.
+func (n *NI) AbortInjection(pkt *message.Packet) bool {
+	for q := 0; q < n.Cfg.Queues; q++ {
+		if len(n.outQ[q]) > 0 && n.outQ[q][0].pkt == pkt {
+			n.outQ[q] = n.outQ[q][1:]
+			pkt.SentFlits = pkt.Msg.Flits
+			return true
+		}
+	}
+	return false
+}
+
+// OutHead exposes the state of output queue q's head for the deadlock
+// observer: the message, its packet, and the injection VC it has claimed
+// (nil before allocation).
+func (n *NI) OutHead(q int) (*message.Message, *message.Packet, *router.VC, bool) {
+	if len(n.outQ[q]) == 0 {
+		return nil, nil, nil, false
+	}
+	e := n.outQ[q][0]
+	return e.msg, e.pkt, n.vcFor(e.pkt), true
+}
+
+// vcFor finds the injection VC currently claimed by pkt.
+func (n *NI) vcFor(pkt *message.Packet) *router.VC {
+	for _, vc := range n.Inject.VCs {
+		if vc.Owner == pkt {
+			return vc
+		}
+	}
+	return nil
+}
+
+// detectFillSlots converts the DetectFill fraction into a slot count.
+func (n *NI) detectFillSlots() int {
+	f := n.Cfg.DetectFill
+	if f <= 0 {
+		f = 0.75
+	}
+	slots := int(f * float64(n.Cfg.QueueCap))
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > n.Cfg.QueueCap {
+		slots = n.Cfg.QueueCap
+	}
+	return slots
+}
+
+// detect evaluates the endpoint potential-deadlock conditions per input
+// queue (Section 2.2): (1) the input queue and the subordinate's output
+// queue both fill beyond a threshold (and the output lacks space for the
+// head's subordinates), (2) the head generates a non-terminating message
+// type, and (3) the situation persists beyond the time threshold. On
+// firing, the streak resets so a persistent condition re-fires every
+// threshold cycles (the paper's "minimum recovery action" resolves one
+// message per detection).
+func (n *NI) detect(now int64) {
+	fill := n.detectFillSlots()
+	for q := 0; q < n.Cfg.Queues; q++ {
+		fire := false
+		if len(n.inQ[q])+n.inAlloc[q] >= fill && len(n.inQ[q]) > 0 {
+			m := n.inQ[q][0]
+			txn := n.Cfg.Table.Get(m.Txn)
+			typ, count, subTerm, ok := n.Cfg.Engine.NextStepInfo(txn, m)
+			if ok && !subTerm {
+				subQ := n.Cfg.QueueIndex(typ, false)
+				// "Sufficient amount of free space for the subordinate
+				// message(s)": a fanout wider than the remaining space
+				// blocks the head just as a full queue does.
+				if !n.OutSpace(subQ, count) {
+					fire = true
+				}
+			}
+		}
+		if !fire {
+			n.streak[q] = 0
+			continue
+		}
+		n.streak[q]++
+		if n.streak[q] > int64(n.Cfg.DetectThreshold) {
+			n.streak[q] = 0
+			if n.Cfg.Hooks.Detect != nil {
+				n.Cfg.Hooks.Detect(n, q, now)
+			}
+		}
+	}
+}
+
+// PendingGenLen reports the number of MSHR completions awaiting output
+// space (used by drain-phase termination checks and tests).
+func (n *NI) PendingGenLen() int { return len(n.pendingGen) }
+
+// Quiescent reports whether the NI holds no queued work at all.
+func (n *NI) Quiescent() bool {
+	if len(n.sourceQ) > 0 || len(n.pendingGen) > 0 || n.ctrlMsg != nil || n.rescueReq != nil {
+		return false
+	}
+	for q := 0; q < n.Cfg.Queues; q++ {
+		if len(n.inQ[q]) > 0 || len(n.outQ[q]) > 0 {
+			return false
+		}
+	}
+	return true
+}

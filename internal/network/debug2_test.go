@@ -1,0 +1,79 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestDebugFanoutStuck dumps state for the stuck fanout drain scenario.
+func TestDebugFanoutStuck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug probe")
+	}
+	inv := &protocol.Template{Name: "inv-case4", Steps: []protocol.Step{
+		{Type: message.M1, Dest: protocol.RoleHome},
+		{Type: message.M2, Dest: protocol.RoleThird, Fanout: 3},
+		{Type: message.M4, Dest: protocol.RoleRequester},
+	}}
+	pat := &protocol.Pattern{
+		Name:      "PATCASE4",
+		Style:     protocol.StyleS1,
+		Templates: []*protocol.Template{protocol.Chain2, inv},
+		Weights:   []float64{0.2, 0.8},
+	}
+	cfg := DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = pat
+	cfg.VCs = 2
+	cfg.QueueCap = 4
+	cfg.Rate = 0.012
+	cfg.Seed = 3
+	cfg.Warmup = 0
+	cfg.Measure = 15000
+	cfg.MaxDrain = 60000
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if n.Quiescent() {
+		t.Log("drained fine")
+		return
+	}
+	now := n.Clock.Now()
+	t.Logf("stuck at %d: txns=%d tokenHeld=%v rescuePhase=%v", now, n.Table.Len(), n.Token.Held(), n.Rescue.CurrentPhase())
+	for ep, ni := range n.NIs {
+		if ni.Quiescent() {
+			continue
+		}
+		t.Logf("NI %d: in=%d out=%d src=%d pend=%d ctrlIdle=%v rescueBusy=%v want=%v",
+			ep, ni.InQueueLen(0), ni.OutQueueLen(0), ni.SourceBacklog(), ni.PendingGenLen(),
+			ni.CtrlIdle(now), ni.RescueBusy(), ni.WantRescue)
+		if m, ok := ni.Head(0); ok {
+			txn := n.Table.Get(m.Txn)
+			typ, cnt, subTerm, sok := n.Engine.NextStepInfo(txn, m)
+			t.Logf("  inHead: %v -> %v x%d subTerm=%v ok=%v outSpace=%v", m, typ, cnt, subTerm, sok,
+				ni.OutSpace(0, cnt))
+		}
+		if m, pkt, vc, ok := ni.OutHead(0); ok {
+			t.Logf("  outHead: %v sent=%d/%d vc=%v", m, pkt.SentFlits, m.Flits, vc != nil)
+		}
+	}
+	occupied := 0
+	for _, ch := range n.Channels {
+		occupied += ch.Occupied()
+	}
+	t.Logf("flits in channels: %d", occupied)
+	for _, ch := range n.Channels {
+		for _, vc := range ch.VCs {
+			if f, ok := vc.Front(); ok {
+				t.Logf("  %v front pkt%d idx%d msg=%v routed=%v knot=%v lastMove=%d",
+					vc, f.Pkt.ID, f.Idx, f.Pkt.Msg, vc.Route != nil, vc.Knotted, vc.LastMove)
+			}
+		}
+	}
+}

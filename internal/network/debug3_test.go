@@ -1,0 +1,173 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/schemes"
+)
+
+// TestDebugABStuck dumps the stuck state of an abort-and-retry run.
+func TestDebugABStuck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug probe")
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = schemes.AB
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 4
+	cfg.Rate = 0.014
+	cfg.Warmup = 1000
+	cfg.Measure = 8000
+	cfg.MaxDrain = 60000
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if n.Quiescent() {
+		t.Log("drained fine")
+		return
+	}
+	now := n.Clock.Now()
+	t.Logf("stuck at %d: txns=%d", now, n.Table.Len())
+	shown := 0
+	for ep, ni := range n.NIs {
+		if ni.Quiescent() || shown >= 6 {
+			continue
+		}
+		shown++
+		t.Logf("NI %d: in=[%d %d] out=[%d %d] src=%d pend=%d ctrlIdle=%v",
+			ep, ni.InQueueLen(0), ni.InQueueLen(1), ni.OutQueueLen(0), ni.OutQueueLen(1),
+			ni.SourceBacklog(), ni.PendingGenLen(), ni.CtrlIdle(now))
+		for q := 0; q < 2; q++ {
+			if m, ok := ni.Head(q); ok {
+				txn := n.Table.Get(m.Txn)
+				typ, cnt, _, sok := n.Engine.NextStepInfo(txn, m)
+				t.Logf("  inHead[%d]: %v nack=%v -> %v x%d ok=%v outSpace=%v", q, m, m.Nack, typ, cnt, sok,
+					ni.OutSpace(n.Scheme.QueueIndex(typ, false), cnt))
+			}
+			if m, pkt, vc, ok := ni.OutHead(q); ok {
+				t.Logf("  outHead[%d]: %v nack=%v sent=%d/%d vc=%v", q, m, m.Nack, pkt.SentFlits, m.Flits, vc != nil)
+			}
+		}
+	}
+	occ := 0
+	for _, ch := range n.Channels {
+		occ += ch.Occupied()
+	}
+	t.Logf("flits in channels: %d", occ)
+	locked, _ := n.Detector.Scan()
+	t.Logf("CWG locked: %d", locked)
+	var nacks int64
+	for _, ni := range n.NIs {
+		nacks += ni.DeflectCount
+	}
+	t.Logf("all-time nacks: %d, detect events incl drain unknown", nacks)
+	// Dump the wait chain of frozen VCs.
+	shown = 0
+	for _, ch := range n.Channels {
+		for _, vc := range ch.VCs {
+			f, ok := vc.Front()
+			if !ok || shown >= 25 {
+				continue
+			}
+			shown++
+			m := f.Pkt.Msg
+			dstR := n.Torus.EndpointByID(m.Dst).Router
+			if vc.Route != nil {
+				t.Logf("  %v pkt%d(%v idx%d dstR=%d) -> %v owner=%v space=%v",
+					vc, f.Pkt.ID, m.Type, f.Idx, dstR, vc.Route, vc.Route.Owner != nil, vc.Route.SpaceFor())
+			} else {
+				t.Logf("  %v pkt%d(%v idx%d dstR=%d) UNROUTED head=%v", vc, f.Pkt.ID, m.Type, f.Idx, dstR, f.Head())
+			}
+		}
+	}
+	// Follow one wait chain: from a frozen unrouted header, hop to the
+	// owner of its (first) candidate VC, and repeat.
+	var start *router.VC
+	for _, ch := range n.Channels {
+		for _, vc := range ch.VCs {
+			if f, ok := vc.Front(); ok && f.Head() && vc.Route == nil && ch.Kind == router.KindLink {
+				start = vc
+				break
+			}
+		}
+		if start != nil {
+			break
+		}
+	}
+	if start != nil {
+		vc := start
+		for step := 0; step < 20 && vc != nil; step++ {
+			f, ok := vc.Front()
+			if !ok {
+				t.Logf("  chain[%d] %v: EMPTY (owner=%v)", step, vc, vc.Owner)
+				break
+			}
+			m := f.Pkt.Msg
+			if vc.Route != nil {
+				t.Logf("  chain[%d] %v pkt%d %v idx%d -> routed %v", step, vc, f.Pkt.ID, m.Type, f.Idx, vc.Route)
+				vc = vc.Route
+				continue
+			}
+			// Unrouted header: compute candidates.
+			consumer := vc.Ch.Dst
+			if vc.Ch.Kind != router.KindLink {
+				consumer = vc.Ch.Src
+			}
+			cands := n.Candidates(consumer, f.Pkt)
+			if len(cands) == 0 {
+				t.Logf("  chain[%d] %v pkt%d %v: no candidates?!", step, vc, f.Pkt.ID, m.Type)
+				break
+			}
+			c := cands[0]
+			next := n.Routers[consumer].Outputs[c.Port].VCs[c.VC]
+			ownerID := message.PacketID(-1)
+			if next.Owner != nil {
+				ownerID = next.Owner.ID
+			}
+			t.Logf("  chain[%d] %v pkt%d %v dst=%d: waits %v (owner pkt%d, space=%v, len=%d)",
+				step, vc, f.Pkt.ID, m.Type, m.Dst, next, ownerID, next.SpaceFor(), next.Len())
+			vc = next
+		}
+	}
+	// Inspect NI 55 (the terminal blockage in the traced chain).
+	ni55 := n.NIs[55]
+	t.Logf("NI55: in=[%d %d] inSpace=[%v %v] out=[%d %d] ctrlIdle=%v pend=%d",
+		ni55.InQueueLen(0), ni55.InQueueLen(1), ni55.InSpace(0), ni55.InSpace(1),
+		ni55.OutQueueLen(0), ni55.OutQueueLen(1), ni55.CtrlIdle(n.Clock.Now()), ni55.PendingGenLen())
+	for q := 0; q < 2; q++ {
+		if m, ok := ni55.Head(q); ok {
+			txn := n.Table.Get(m.Txn)
+			typ, cnt, subTerm, sok := n.Engine.NextStepInfo(txn, m)
+			t.Logf("  NI55 head[%d]: %v nack=%v -> %v x%d subTerm=%v ok=%v outSpace=%v deflectable=%v",
+				q, m, m.Nack, typ, cnt, subTerm, sok,
+				ni55.OutSpace(n.Scheme.QueueIndex(typ, false), cnt),
+				n.Scheme.Deflectable(n.Engine, txn, m))
+		}
+	}
+	for q := 0; q < 2; q++ {
+		if m, pkt, vc, ok := ni55.OutHead(q); ok {
+			t.Logf("  NI55 outHead[%d]: %v nack=%v backoff=%v sent=%d/%d vcClaimed=%v", q, m, m.Nack, m.Backoff, pkt.SentFlits, m.Flits, vc != nil)
+			if vc != nil {
+				t.Logf("    inject vc: %v len=%d space=%v routed=%v", vc, vc.Len(), vc.SpaceFor(), vc.Route != nil)
+			}
+		}
+	}
+	// Watch whether anything changes over another 5000 cycles.
+	before := occ
+	n.RunCycles(5000)
+	occ = 0
+	for _, ch := range n.Channels {
+		occ += ch.Occupied()
+	}
+	var nacks2 int64
+	for _, ni := range n.NIs {
+		nacks2 += ni.DeflectCount
+	}
+	t.Logf("after 5000 more cycles: flits %d -> %d, nacks %d -> %d, txns=%d",
+		before, occ, nacks, nacks2, n.Table.Len())
+}

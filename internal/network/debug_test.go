@@ -1,0 +1,97 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestDebugStuckDrain reproduces the stuck-drain scenario and dumps state.
+func TestDebugStuckDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug probe")
+	}
+	cfg := DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 2
+	cfg.QueueCap = 4
+	cfg.Rate = 0.02
+	cfg.Seed = 7
+	cfg.Warmup = 0
+	cfg.Measure = 12000
+	cfg.MaxDrain = 30000
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if n.Quiescent() {
+		t.Log("drained fine")
+		return
+	}
+	t.Logf("stuck: txns=%d tokenHeld=%v rescueActive=%v rescues=%d completed=%d",
+		n.Table.Len(), n.Token.Held(), n.Rescue.Active(), n.Stats.Rescues, n.Rescue.Completed)
+	locked, fresh := n.Detector.Scan()
+	t.Logf("CWG: locked=%d fresh=%d", locked, fresh)
+	for ep, ni := range n.NIs {
+		if ni.Quiescent() {
+			continue
+		}
+		line := ""
+		for q := 0; q < ni.Cfg.Queues; q++ {
+			line += " in=" + itoa(ni.InQueueLen(q)) + " out=" + itoa(ni.OutQueueLen(q))
+		}
+		t.Logf("NI %d:%s src=%d pend=%d ctrlIdle=%v wantRescue=%v",
+			ep, line, ni.SourceBacklog(), ni.PendingGenLen(), ni.CtrlIdle(n.Clock.Now()), ni.WantRescue)
+		if m, ok := ni.Head(0); ok {
+			txn := n.Table.Get(m.Txn)
+			typ, cnt, _, sok := n.Engine.NextStepInfo(txn, m)
+			t.Logf("  head: %v subType=%v cnt=%d ok=%v outSpace=%v", m, typ, cnt, sok,
+				ni.OutSpace(n.Scheme.QueueIndex(typ, false), cnt))
+		}
+		if m, _, vc, ok := ni.OutHead(0); ok {
+			t.Logf("  outHead: %v vcAllocated=%v", m, vc != nil)
+		}
+	}
+	occupied := 0
+	for _, ch := range n.Channels {
+		occupied += ch.Occupied()
+	}
+	t.Logf("flits in channels: %d", occupied)
+	for _, ch := range n.Channels {
+		for _, vc := range ch.VCs {
+			if f, ok := vc.Front(); ok {
+				t.Logf("  %v: owner=%v front=pkt%d idx=%d routed=%v lastMove=%d",
+					vc, vc.Owner != nil, f.Pkt.ID, f.Idx, vc.Route != nil, vc.LastMove)
+			} else if vc.Owner != nil {
+				t.Logf("  %v: EMPTY but owned by pkt%d (sent=%d/%d arrived=%d rescued=%v)",
+					vc, vc.Owner.ID, vc.Owner.SentFlits, vc.Owner.Msg.Flits, vc.Owner.ArrivedFlits, vc.Owner.BeingRescued)
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,128 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestDiagLeak samples system state over a long PR run to find what
+// accumulates (development probe).
+func TestDiagLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	cfg := DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.VCs = 16
+	cfg.QueueMode = netiface.QueuePerType
+	cfg.Rate = 0.016
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<40, 1, 0 // stay in warmup forever
+	cfg.Seed = 5
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		n.RunCycles(5000)
+		now := n.Clock.Now()
+		owned, ownedEmpty, flits, blocked200 := 0, 0, 0, 0
+		for _, ch := range n.Channels {
+			for _, vc := range ch.VCs {
+				flits += vc.Len()
+				if vc.Owner != nil {
+					owned++
+					if vc.Len() == 0 {
+						ownedEmpty++
+					}
+				}
+				if vc.Blocked(now, 200) {
+					blocked200++
+				}
+			}
+		}
+		srcBk, outQ, inQ, pend := 0, 0, 0, 0
+		for _, ni := range n.NIs {
+			srcBk += ni.SourceBacklog()
+			pend += ni.PendingGenLen()
+			for q := 0; q < ni.Cfg.Queues; q++ {
+				outQ += ni.OutQueueLen(q)
+				inQ += ni.InQueueLen(q)
+			}
+		}
+		t.Logf("t=%6d txns=%4d flits=%5d owned=%4d ownedEmpty=%3d blocked200=%3d srcBk=%3d inQ=%4d outQ=%4d pend=%3d resc=%d tok=%v",
+			now, n.Table.Len(), flits, owned, ownedEmpty, blocked200, srcBk, inQ, outQ, pend,
+			n.Rescue.Completed, n.Token.Held())
+	}
+}
+
+// TestDiagPR16VC probes what limits PR at 16 VCs (development probe).
+func TestDiagPR16VC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	run := func(label string, mut func(*Config)) {
+		cfg := DefaultConfig()
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 16
+		cfg.Rate = 0.018
+		cfg.Warmup, cfg.Measure, cfg.MaxDrain = 3000, 10000, 0
+		cfg.Seed = 5
+		if mut != nil {
+			mut(&cfg)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		s := n.Stats
+		t.Logf("%-30s thr=%.4f lat=%6.1f txnlat=%7.1f det=%4d resc=%4d srcQ=%d",
+			label, s.Throughput(), s.AvgLatency(), s.AvgTxnLatency(), s.DetectEvents, s.Rescues,
+			n.NIs[0].SourceBacklog())
+	}
+	run("PR QA long window", func(c *Config) {
+		c.QueueMode = netiface.QueuePerType
+		c.Measure = 30000
+	})
+	run("PR QA long window lowload", func(c *Config) {
+		c.QueueMode = netiface.QueuePerType
+		c.Measure = 30000
+		c.Rate = 0.016
+	})
+	for _, to := range []int{100, 200, 400} {
+		to := to
+		run("PR QA long rtimeout="+itoa(to), func(c *Config) {
+			c.QueueMode = netiface.QueuePerType
+			c.Measure = 30000
+			c.RouterTimeout = to
+		})
+	}
+	run("PR shared long rtimeout=200", func(c *Config) {
+		c.Measure = 30000
+		c.RouterTimeout = 200
+	})
+	run("PR shared baseline", nil)
+	run("PR QA", func(c *Config) { c.QueueMode = netiface.QueuePerType })
+	run("PR QA no-detect", func(c *Config) {
+		c.QueueMode = netiface.QueuePerType
+		c.DetectThreshold = 1 << 30
+		c.RouterTimeout = 1 << 30
+	})
+	run("PR QA outstanding=64", func(c *Config) {
+		c.QueueMode = netiface.QueuePerType
+		c.MaxOutstanding = 64
+	})
+	run("PR QA bigger queues", func(c *Config) {
+		c.QueueMode = netiface.QueuePerType
+		c.QueueCap = 64
+	})
+	// DR references.
+	run("DR per-class", func(c *Config) { c.Scheme = schemes.DR })
+	run("DR QA", func(c *Config) { c.Scheme = schemes.DR; c.QueueMode = netiface.QueuePerType })
+	run("SA", func(c *Config) { c.Scheme = schemes.SA })
+}

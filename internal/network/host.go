@@ -1,0 +1,69 @@
+package network
+
+import (
+	"repro/internal/deadlock"
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// The Network implements deadlock.Host so the CWG observer can walk its
+// resources.
+
+// Topology implements deadlock.Host.
+func (n *Network) Topology() *topology.Torus { return n.Torus }
+
+// AllChannels implements deadlock.Host.
+func (n *Network) AllChannels() []*router.Channel { return n.Channels }
+
+// AllNIs implements deadlock.Host.
+func (n *Network) AllNIs() []*netiface.NI { return n.NIs }
+
+// RouteCandidates implements deadlock.Host.
+func (n *Network) RouteCandidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC {
+	return n.Candidates(r, pkt)
+}
+
+// RouterByID implements deadlock.Host.
+func (n *Network) RouterByID(id topology.NodeID) *router.Router { return n.Routers[id] }
+
+// QueueOf implements deadlock.Host.
+func (n *Network) QueueOf(m *message.Message) int {
+	return n.Scheme.QueueIndex(m.Type, m.Backoff || m.Nack)
+}
+
+// SubQueueOf implements deadlock.Host.
+func (n *Network) SubQueueOf(m *message.Message) (int, int, bool) {
+	txn := n.Table.Get(m.Txn)
+	typ, count, _, ok := n.Engine.NextStepInfo(txn, m)
+	if !ok {
+		return 0, 0, false
+	}
+	return n.Scheme.QueueIndex(typ, false), count, true
+}
+
+// InjectVCsOf implements deadlock.Host.
+func (n *Network) InjectVCsOf(m *message.Message) []int {
+	return n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack).All()
+}
+
+// VCsPerChannel implements deadlock.Host.
+func (n *Network) VCsPerChannel() int { return n.Cfg.VCs }
+
+// attachDetector installs the periodic CWG scan when enabled.
+func (n *Network) attachDetector() {
+	if n.Cfg.CWGInterval <= 0 {
+		return
+	}
+	det := deadlock.NewDetector(n)
+	n.Detector = det
+	n.scan = func(now int64) {
+		_, fresh := det.Scan()
+		if n.inWindow(now) {
+			n.Stats.CWGScans++
+			n.Stats.CWGDeadlocks += int64(fresh)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/schemes"
+)
+
+func meshConfig(kind schemes.Kind, pat *protocol.Pattern, vcs int, rate float64) Config {
+	cfg := smallConfig(kind, pat, vcs, rate)
+	cfg.Mesh = true
+	return cfg
+}
+
+func TestMeshWiring(t *testing.T) {
+	n, err := New(meshConfig(schemes.PR, protocol.PAT100, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4x4 mesh has 2*4*3 = 24 bidirectional links = 48 unidirectional
+	// channels (vs 64 for the torus), plus 16 inject + 16 eject.
+	links := 0
+	for _, ch := range n.Channels {
+		if ch.Kind == router.KindLink {
+			links++
+		}
+	}
+	if links != 48 {
+		t.Fatalf("mesh link channels = %d, want 48", links)
+	}
+	// Corner router 0 must lack -x and -y ports.
+	r0 := n.Routers[0]
+	if r0.Outputs[1] != nil || r0.Outputs[3] != nil {
+		t.Fatal("corner router has wraparound outputs")
+	}
+	if r0.Outputs[0] == nil || r0.Outputs[2] == nil {
+		t.Fatal("corner router lacks interior links")
+	}
+}
+
+// TestMeshSAValidAt4VCs: the headline consequence of E_r = 1 — on a mesh,
+// strict avoidance can partition 4 VCs among 4 message types (impossible on
+// a torus, Figure 8's gap).
+func TestMeshSAValidAt4VCs(t *testing.T) {
+	n, err := New(meshConfig(schemes.SA, protocol.PAT721, 4, 0.003))
+	if err != nil {
+		t.Fatalf("SA/PAT721/4VC should be valid on a mesh: %v", err)
+	}
+	if n.Scheme.Availability() != 1 {
+		t.Fatalf("availability = %d, want 1 (single escape per type)", n.Scheme.Availability())
+	}
+	n.Run()
+	if n.Stats.DeliveredMsgs == 0 || !n.Quiescent() {
+		t.Fatal("mesh SA run failed")
+	}
+	if n.Stats.CWGDeadlocks != 0 {
+		t.Fatalf("SA deadlocked on mesh: %d knots", n.Stats.CWGDeadlocks)
+	}
+	// On a torus the same configuration must still be rejected.
+	cfg := meshConfig(schemes.SA, protocol.PAT721, 4, 0.003)
+	cfg.Mesh = false
+	if _, err := New(cfg); err == nil {
+		t.Fatal("SA/PAT721/4VC accepted on a torus")
+	}
+}
+
+func TestMeshAllSchemesRunAndDrain(t *testing.T) {
+	for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
+		cfg := meshConfig(kind, protocol.PAT271, 4, 0.004)
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		n.Run()
+		if n.Stats.TxnCompleted == 0 || !n.Quiescent() {
+			t.Errorf("%v on mesh: txns=%d quiescent=%v", kind, n.Stats.TxnCompleted, n.Quiescent())
+		}
+	}
+}
+
+func TestMeshPRRecoversUnderPressure(t *testing.T) {
+	cfg := meshConfig(schemes.PR, protocol.PAT271, 2, 0.02)
+	cfg.QueueCap = 4
+	cfg.Measure = 6000
+	cfg.MaxDrain = 40000
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if !n.Quiescent() {
+		t.Fatalf("mesh PR did not drain: %d txns", n.Table.Len())
+	}
+}
+
+func TestMeshDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		n, err := New(meshConfig(schemes.PR, protocol.PAT271, 4, 0.006))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run()
+		return n.Stats.DeliveredMsgs, n.Stats.AvgLatency()
+	}
+	m1, l1 := run()
+	m2, l2 := run()
+	if m1 != m2 || l1 != l2 {
+		t.Fatal("mesh runs diverged")
+	}
+}

@@ -1,0 +1,405 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/token"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Network is one fully wired simulated system.
+type Network struct {
+	Cfg    Config
+	Torus  *topology.Torus
+	Scheme *schemes.Scheme
+	Engine *protocol.Engine
+	Table  *protocol.Table
+
+	Routers  []*router.Router
+	NIs      []*netiface.NI
+	Channels []*router.Channel
+
+	Clock  *sim.Clock
+	Stats  *stats.Collector
+	Source traffic.Source
+
+	Token  *token.Manager
+	Rescue *core.Rescue
+
+	// Detector is the optional CWG observer, installed by attachDetector
+	// when Cfg.CWGInterval > 0; scan is its periodic entry point.
+	Detector *deadlock.Detector
+	scan     func(now int64)
+
+	RNG       *sim.RNG
+	nextPktID message.PacketID
+
+	// OnCycle, when non-nil, runs at the end of every cycle (used by the
+	// trace harness to sample load and by tests to observe state).
+	OnCycle func(now int64)
+}
+
+// New builds a network with the built-in synthetic uniform-random source at
+// cfg.Rate.
+func New(cfg Config) (*Network, error) {
+	n, err := newBare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := traffic.NewSynthetic(cfg.Rate, n.Torus.Endpoints(), n.Engine, n.Table, n.RNG.Split())
+	src.MaxOutstanding = cfg.MaxOutstanding
+	n.Source = src
+	return n, nil
+}
+
+// NewWithSource builds a network driven by a custom traffic source factory,
+// which receives the network's engine, table and RNG.
+func NewWithSource(cfg Config, mk func(e *protocol.Engine, t *protocol.Table, rng *sim.RNG, endpoints int) traffic.Source) (*Network, error) {
+	n, err := newBare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.Source = mk(n.Engine, n.Table, n.RNG.Split(), n.Torus.Endpoints())
+	return n, nil
+}
+
+func newBare(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mk := topology.NewTorus
+	if cfg.Mesh {
+		mk = topology.NewMesh
+	}
+	tor, err := mk(cfg.Radix, cfg.Bristling)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := schemes.NewWithOptions(cfg.Scheme, cfg.Pattern, cfg.VCs, cfg.QueueMode, cfg.SASharedChannels, tor.EscapeVCs())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := protocol.NewEngine(cfg.Pattern, cfg.Lengths)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:    cfg,
+		Torus:  tor,
+		Scheme: sch,
+		Engine: eng,
+		Table:  protocol.NewTable(),
+		Clock:  sim.NewClock(cfg.Warmup, cfg.Measure, cfg.MaxDrain),
+		Stats:  stats.NewCollector(tor.Endpoints()),
+		RNG:    sim.NewRNG(cfg.Seed),
+	}
+	n.Stats.Cycles = cfg.Measure
+	n.build()
+	if cfg.Scheme == schemes.PR {
+		n.Token = token.NewManager(tor, cfg.TokenHopCycles)
+		n.Rescue = core.New(core.Config{
+			Torus:             tor,
+			Token:             n.Token,
+			Engine:            eng,
+			Table:             n.Table,
+			NIs:               n.NIs,
+			Routers:           n.Routers,
+			Channels:          n.Channels,
+			RouterTimeout:     int64(cfg.RouterTimeout),
+			TokenRegenTimeout: cfg.TokenRegenTimeout,
+			OnRescue: func(now int64) {
+				if n.inWindow(now) {
+					n.Stats.Rescues++
+					n.Stats.TokenCaptures++
+				}
+			},
+		})
+	}
+	n.attachDetector()
+	return n, nil
+}
+
+// build wires routers, channels, and NIs.
+func (n *Network) build() {
+	tor := n.Torus
+	dirs := tor.Directions()
+	numPorts := dirs + tor.Bristling
+
+	n.Routers = make([]*router.Router, tor.Routers())
+	for id := range n.Routers {
+		n.Routers[id] = router.New(topology.NodeID(id), n, numPorts, numPorts)
+	}
+
+	chID := 0
+	newCh := func(kind router.ChannelKind, src, dst topology.NodeID, dir topology.Direction, local int) *router.Channel {
+		ch := router.NewChannel(kind, src, dst, dir, local, chID, n.Cfg.VCs, n.Cfg.FlitBuf)
+		chID++
+		n.Channels = append(n.Channels, ch)
+		return ch
+	}
+
+	// Link channels: the output of router r in direction d feeds the input
+	// of its d-neighbor, indexed by the direction of travel. Mesh edges
+	// simply lack the wraparound channels (nil ports).
+	for id := range n.Routers {
+		r := topology.NodeID(id)
+		for d := topology.Direction(0); d < topology.Direction(dirs); d++ {
+			if !tor.HasNeighbor(r, d) {
+				continue
+			}
+			nb := tor.Neighbor(r, d)
+			ch := newCh(router.KindLink, r, nb, d, 0)
+			n.Routers[r].Outputs[int(d)] = ch
+			n.Routers[nb].Inputs[int(d)] = ch
+		}
+	}
+
+	// NIs with injection/ejection channels.
+	n.NIs = make([]*netiface.NI, tor.Endpoints())
+	for ep := 0; ep < tor.Endpoints(); ep++ {
+		e := tor.EndpointByID(ep)
+		ni := netiface.New(n.niConfig(ep))
+		inj := newCh(router.KindInject, e.Router, e.Router, 0, e.Local)
+		ej := newCh(router.KindEject, e.Router, e.Router, 0, e.Local)
+		ni.Inject = inj
+		ni.Eject = ej
+		n.Routers[e.Router].Inputs[dirs+e.Local] = inj
+		n.Routers[e.Router].Outputs[dirs+e.Local] = ej
+		n.NIs[ep] = ni
+	}
+}
+
+// niConfig builds the per-endpoint NI configuration, closing over the
+// network for hooks and policy.
+func (n *Network) niConfig(ep int) netiface.Config {
+	return netiface.Config{
+		Endpoint:        ep,
+		Queues:          n.Scheme.NumQueues(),
+		QueueIndex:      n.Scheme.QueueIndex,
+		QueueCap:        n.Cfg.QueueCap,
+		ServiceTime:     n.Cfg.ServiceTime,
+		DetectThreshold: n.Cfg.DetectThreshold,
+		RetryBackoff:    n.Cfg.RetryBackoff,
+		InjectVCs: func(m *message.Message) []int {
+			return n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack).All()
+		},
+		Engine:       n.Engine,
+		Table:        n.Table,
+		NextPacketID: n.newPacketID,
+		Hooks: netiface.Hooks{
+			Injected:       n.onInjected,
+			Delivered:      n.onDelivered,
+			TxnComplete:    n.onTxnComplete,
+			Detect:         n.onDetect,
+			RescueServiced: n.onRescueServiced,
+		},
+	}
+}
+
+func (n *Network) newPacketID() message.PacketID {
+	n.nextPktID++
+	return n.nextPktID
+}
+
+// Candidates implements router.Policy: the routing function candidates for
+// pkt positioned at router r, under the scheme's VC partition for its type.
+func (n *Network) Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC {
+	m := pkt.Msg
+	dst := n.Torus.EndpointByID(m.Dst)
+	mode := n.Scheme.RoutingMode(m.Type, m.Backoff || m.Nack)
+	set := n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack)
+	return routing.Candidates(n.Torus, mode, r, dst.Router, dst.Local, set)
+}
+
+// inWindow reports whether cycle t falls inside the measurement window.
+func (n *Network) inWindow(t int64) bool {
+	start, end := n.Clock.MeasureWindow()
+	return t >= start && t < end
+}
+
+func (n *Network) onInjected(m *message.Message, now int64) {
+	if n.inWindow(now) {
+		n.Stats.OnInjected(m)
+	}
+}
+
+func (n *Network) onDelivered(m *message.Message, now int64) {
+	n.Stats.OnDelivered(m, n.inWindow(now), n.inWindow(m.Created))
+}
+
+func (n *Network) onTxnComplete(t *protocol.Transaction, now int64) {
+	if n.inWindow(t.Created) {
+		n.Stats.OnTxnComplete(t.Created, now)
+	}
+	if n.Source != nil {
+		n.Source.TxnCompleted(t.Requester)
+	}
+}
+
+// onDetect dispatches an endpoint detection event to the scheme's recovery
+// action: nothing under SA (its detector can only fire on transient
+// congestion; strict avoidance guarantees eventual progress), deflection
+// under DR, token-capture request under PR.
+func (n *Network) onDetect(ni *netiface.NI, q int, now int64) {
+	if n.inWindow(now) {
+		n.Stats.DetectEvents++
+	}
+	switch n.Cfg.Scheme {
+	case schemes.DR:
+		n.deflect(ni, q, now)
+	case schemes.AB:
+		n.nackHead(ni, q, now)
+	case schemes.PR:
+		ni.WantRescue = true
+	}
+}
+
+// nackHead performs the regressive recovery action: kill the head message
+// and negatively acknowledge its sender, which will re-inject it. The NACK
+// needs a reply-queue slot; otherwise the detection re-fires and retries.
+func (n *Network) nackHead(ni *netiface.NI, q int, now int64) {
+	m, ok := ni.Head(q)
+	if !ok {
+		return
+	}
+	txn := n.Table.Get(m.Txn)
+	if !n.Scheme.Deflectable(n.Engine, txn, m) {
+		return
+	}
+	nack := n.Engine.Nack(txn, m, now)
+	if !ni.OutSpace(n.Scheme.QueueIndex(nack.Type, true), 1) {
+		txn.Messages--
+		return
+	}
+	ni.PopHead(q)
+	ni.DeflectCount++
+	ni.EnqueueOut(nack)
+	if n.inWindow(now) {
+		n.Stats.Deflections++ // recovery actions share the counter; the
+		// scheme kind disambiguates in reports
+	}
+}
+
+// deflect performs the Origin2000 backoff action: pop the head request whose
+// subordinate is request-class and answer it with a backoff reply on the
+// reply network; the requester re-issues the subordinate itself. The action
+// requires a free slot in the backoff reply's output queue; otherwise the
+// detection will re-fire and retry.
+func (n *Network) deflect(ni *netiface.NI, q int, now int64) {
+	m, ok := ni.Head(q)
+	if !ok {
+		return
+	}
+	txn := n.Table.Get(m.Txn)
+	if !n.Scheme.Deflectable(n.Engine, txn, m) {
+		return
+	}
+	brp := n.Engine.Backoff(txn, m, now)
+	if !ni.OutSpace(n.Scheme.QueueIndex(brp.Type, true), 1) {
+		// Undo the engine-side accounting; the action is retried on the
+		// next detection firing.
+		txn.Deflections--
+		txn.Messages--
+		return
+	}
+	ni.PopHead(q)
+	ni.DeflectCount++
+	ni.EnqueueOut(brp)
+	if n.inWindow(now) {
+		n.Stats.Deflections++
+	}
+}
+
+// onRescueServiced forwards controller completions of rescue services to the
+// progressive-recovery engine.
+func (n *Network) onRescueServiced(ni *netiface.NI, m *message.Message, subs []*message.Message, now int64) {
+	if n.Rescue == nil {
+		panic("network: rescue service completed without a rescue engine")
+	}
+	n.Rescue.Serviced(ni, m, subs, now)
+}
+
+// Step advances the system one cycle.
+func (n *Network) Step() {
+	now := n.Clock.Now()
+	if n.Clock.Phase() != sim.PhaseDrain && n.Source != nil {
+		for ep, ni := range n.NIs {
+			n.Source.Generate(now, ep, ni)
+		}
+	}
+	for _, ni := range n.NIs {
+		ni.Step(now)
+	}
+	for _, r := range n.Routers {
+		r.Step(now)
+	}
+	if n.Rescue != nil {
+		n.Rescue.Step(now)
+	}
+	for _, c := range n.Channels {
+		c.Commit(now)
+	}
+	if n.scan != nil && n.Cfg.CWGInterval > 0 && now > 0 && now%n.Cfg.CWGInterval == 0 {
+		n.scan(now)
+	}
+	if n.OnCycle != nil {
+		n.OnCycle(now)
+	}
+	n.Clock.Tick()
+}
+
+// Quiescent reports whether no work remains anywhere in the system.
+func (n *Network) Quiescent() bool {
+	if n.Table.Len() > 0 {
+		return false
+	}
+	for _, ni := range n.NIs {
+		if !ni.Quiescent() {
+			return false
+		}
+	}
+	for _, c := range n.Channels {
+		if c.Occupied() > 0 {
+			return false
+		}
+	}
+	if n.Rescue != nil && n.Rescue.Active() {
+		return false
+	}
+	return true
+}
+
+// Run executes the configured phases: warmup, measurement, and drain (which
+// ends early once the system is quiescent). It returns the collector.
+func (n *Network) Run() *stats.Collector {
+	for !n.Clock.Done() {
+		n.Step()
+		if n.Clock.Phase() == sim.PhaseDrain && n.Quiescent() {
+			break
+		}
+	}
+	return n.Stats
+}
+
+// RunCycles steps exactly k cycles (for tests and interactive tools).
+func (n *Network) RunCycles(k int64) {
+	for i := int64(0); i < k; i++ {
+		n.Step()
+	}
+}
+
+// String summarizes the configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("net{%v %s %s vcs=%d q=%s}", n.Cfg.Radix, n.Cfg.Scheme, n.Cfg.Pattern.Name, n.Cfg.VCs, n.Scheme.QueueMode)
+}

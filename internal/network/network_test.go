@@ -1,0 +1,192 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// smallConfig returns a 4x4 torus configuration with short run phases,
+// suitable for fast tests.
+func smallConfig(kind schemes.Kind, pat *protocol.Pattern, vcs int, rate float64) Config {
+	cfg := DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = kind
+	cfg.Pattern = pat
+	cfg.VCs = vcs
+	cfg.Rate = rate
+	cfg.Warmup = 500
+	cfg.Measure = 3000
+	cfg.MaxDrain = 8000
+	return cfg
+}
+
+func mustNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLowLoadDeliversEverything(t *testing.T) {
+	for _, kind := range []schemes.Kind{schemes.SA, schemes.PR} {
+		n := mustNet(t, smallConfig(kind, protocol.PAT100, 4, 0.002))
+		n.Run()
+		if n.Stats.DeliveredMsgs == 0 {
+			t.Fatalf("%v: nothing delivered", kind)
+		}
+		if !n.Quiescent() {
+			t.Fatalf("%v: network not quiescent after drain (table=%d)", kind, n.Table.Len())
+		}
+		if n.Stats.AvgLatency() <= 0 {
+			t.Fatalf("%v: non-positive latency", kind)
+		}
+	}
+}
+
+func TestDRDeliversChain3(t *testing.T) {
+	n := mustNet(t, smallConfig(schemes.DR, protocol.PAT280, 4, 0.002))
+	n.Run()
+	if n.Stats.DeliveredMsgs == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if !n.Quiescent() {
+		t.Fatalf("not quiescent, %d txns in flight", n.Table.Len())
+	}
+}
+
+func TestAllSchemesAllPatterns(t *testing.T) {
+	for _, pat := range protocol.Patterns {
+		for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
+			cfg := smallConfig(kind, pat, 16, 0.001)
+			cfg.Measure = 2000
+			n, err := New(cfg)
+			if err != nil {
+				// Configuration gaps the paper also has (e.g. DR on
+				// PAT100) are fine.
+				continue
+			}
+			n.Run()
+			if n.Stats.DeliveredMsgs == 0 {
+				t.Errorf("%v/%s: nothing delivered", kind, pat.Name)
+			}
+			if !n.Quiescent() {
+				t.Errorf("%v/%s: not quiescent (%d txns)", kind, pat.Name, n.Table.Len())
+			}
+		}
+	}
+}
+
+func TestSchemeValidityMatchesPaperGaps(t *testing.T) {
+	// 4 VCs: SA invalid for chain length > 2 (Figure 8 omits SA).
+	if _, err := New(smallConfig(schemes.SA, protocol.PAT721, 4, 0.001)); err == nil {
+		t.Error("SA with 4 VCs and 4 types should be invalid")
+	}
+	// 4 VCs, PAT100 (2 types): SA valid.
+	if _, err := New(smallConfig(schemes.SA, protocol.PAT100, 4, 0.001)); err != nil {
+		t.Errorf("SA with 4 VCs and 2 types should be valid: %v", err)
+	}
+	// DR invalid for PAT100 (chain length 2).
+	if _, err := New(smallConfig(schemes.DR, protocol.PAT100, 4, 0.001)); err == nil {
+		t.Error("DR on PAT100 should be invalid")
+	}
+	// PR always valid down to 1 VC.
+	cfg := smallConfig(schemes.PR, protocol.PAT271, 1, 0.001)
+	if _, err := New(cfg); err != nil {
+		t.Errorf("PR with 1 VC should be valid: %v", err)
+	}
+}
+
+func TestSANeverDeadlocks(t *testing.T) {
+	// Drive SA hard; the CWG observer must find no knots and no recovery
+	// actions may occur.
+	cfg := smallConfig(schemes.SA, protocol.PAT721, 16, 0.02)
+	cfg.Measure = 4000
+	n := mustNet(t, cfg)
+	n.Run()
+	if n.Stats.CWGDeadlocks != 0 {
+		t.Fatalf("SA produced %d CWG deadlocks", n.Stats.CWGDeadlocks)
+	}
+	if n.Stats.Deflections != 0 || n.Stats.Rescues != 0 {
+		t.Fatalf("SA took recovery actions: %d deflections, %d rescues", n.Stats.Deflections, n.Stats.Rescues)
+	}
+}
+
+func TestMessageConservation(t *testing.T) {
+	// Every transaction completes: after drain, per-type delivered counts
+	// must be consistent with completed transactions.
+	cfg := smallConfig(schemes.PR, protocol.PAT271, 8, 0.003)
+	n := mustNet(t, cfg)
+	n.Run()
+	if !n.Quiescent() {
+		t.Fatalf("not quiescent: %d txns remain", n.Table.Len())
+	}
+	if n.Stats.TxnCompleted == 0 {
+		t.Fatal("no transactions completed")
+	}
+}
+
+func TestThroughputScalesWithLoadBelowSaturation(t *testing.T) {
+	low := mustNet(t, smallConfig(schemes.PR, protocol.PAT100, 4, 0.001))
+	low.Run()
+	high := mustNet(t, smallConfig(schemes.PR, protocol.PAT100, 4, 0.004))
+	high.Run()
+	if high.Stats.Throughput() <= low.Stats.Throughput() {
+		t.Fatalf("throughput did not scale: %.5f -> %.5f",
+			low.Stats.Throughput(), high.Stats.Throughput())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, float64) {
+		n := mustNet(t, smallConfig(schemes.PR, protocol.PAT271, 4, 0.004))
+		n.Run()
+		return n.Stats.DeliveredMsgs, n.Stats.DeliveredFlits, n.Stats.AvgLatency()
+	}
+	m1, f1, l1 := run()
+	m2, f2, l2 := run()
+	if m1 != m2 || f1 != f2 || l1 != l2 {
+		t.Fatalf("runs diverged: (%d,%d,%v) vs (%d,%d,%v)", m1, f1, l1, m2, f2, l2)
+	}
+}
+
+func TestQueueModeOverride(t *testing.T) {
+	// Figure 11's QA configuration: PR with per-type queues.
+	cfg := smallConfig(schemes.PR, protocol.PAT271, 8, 0.002)
+	cfg.QueueMode = netiface.QueuePerType
+	n := mustNet(t, cfg)
+	if n.Scheme.NumQueues() != 4 {
+		t.Fatalf("QA expects 4 queues, got %d", n.Scheme.NumQueues())
+	}
+	n.Run()
+	if n.Stats.DeliveredMsgs == 0 || !n.Quiescent() {
+		t.Fatal("QA run failed to complete")
+	}
+}
+
+func TestBristledNetwork(t *testing.T) {
+	cfg := smallConfig(schemes.PR, protocol.PAT100, 4, 0.002)
+	cfg.Radix = []int{2, 4}
+	cfg.Bristling = 2
+	n := mustNet(t, cfg)
+	if n.Torus.Endpoints() != 16 {
+		t.Fatalf("endpoints = %d", n.Torus.Endpoints())
+	}
+	n.Run()
+	if n.Stats.DeliveredMsgs == 0 || !n.Quiescent() {
+		t.Fatal("bristled run failed")
+	}
+}
+
+func TestZeroRateStaysQuiescent(t *testing.T) {
+	cfg := smallConfig(schemes.PR, protocol.PAT100, 4, 0)
+	n := mustNet(t, cfg)
+	n.RunCycles(1000)
+	if n.Stats.DeliveredMsgs != 0 || !n.Quiescent() {
+		t.Fatal("idle network did something")
+	}
+}

@@ -1,0 +1,46 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestProbeSaturation is a development probe: it prints saturation behaviour
+// for each scheme. Run with -v to inspect.
+func TestProbeSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, tc := range []struct {
+		kind schemes.Kind
+		pat  *protocol.Pattern
+		vcs  int
+	}{
+		{schemes.PR, protocol.PAT721, 4},
+		{schemes.DR, protocol.PAT721, 4},
+		{schemes.PR, protocol.PAT271, 4},
+		{schemes.DR, protocol.PAT271, 4},
+	} {
+		for _, rate := range []float64{0.008, 0.01, 0.012, 0.014, 0.016, 0.02} {
+			cfg := DefaultConfig()
+			cfg.Scheme = tc.kind
+			cfg.Pattern = tc.pat
+			cfg.VCs = tc.vcs
+			cfg.Rate = rate
+			cfg.Warmup = 2000
+			cfg.Measure = 8000
+			cfg.MaxDrain = 0
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%v/%s/%d: %v", tc.kind, tc.pat.Name, tc.vcs, err)
+			}
+			n.Run()
+			s := n.Stats
+			t.Logf("%v %-7s vc=%2d rate=%.3f thr=%.4f lat=%7.1f txnlat=%8.1f det=%4d defl=%4d resc=%4d cwg=%3d srcbk=%d",
+				tc.kind, tc.pat.Name, tc.vcs, rate, s.Throughput(), s.AvgLatency(), s.AvgTxnLatency(),
+				s.DetectEvents, s.Deflections, s.Rescues, s.CWGDeadlocks, n.NIs[0].SourceBacklog())
+		}
+	}
+}

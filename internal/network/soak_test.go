@@ -1,0 +1,58 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestSoakAllSchemesDrainAcrossSeeds is the workhorse safety property: for
+// every scheme and a spread of seeds at deadlock-prone loads, every
+// transaction eventually completes — nothing is ever lost to recovery.
+func TestSoakAllSchemesDrainAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	type tc struct {
+		kind schemes.Kind
+		pat  *protocol.Pattern
+		vcs  int
+		qcap int
+		rate float64
+	}
+	cases := []tc{
+		{schemes.SA, protocol.PAT721, 8, 4, 0.02},
+		{schemes.DR, protocol.PAT271, 4, 4, 0.02},
+		{schemes.AB, protocol.PAT271, 4, 8, 0.016},
+		{schemes.PR, protocol.PAT271, 2, 4, 0.02},
+		{schemes.PR, protocol.PAT721, 4, 2, 0.025},
+	}
+	for _, c := range cases {
+		for seed := uint64(1); seed <= 5; seed++ {
+			cfg := DefaultConfig()
+			cfg.Radix = []int{4, 4}
+			cfg.Scheme = c.kind
+			cfg.Pattern = c.pat
+			cfg.VCs = c.vcs
+			cfg.QueueCap = c.qcap
+			cfg.Rate = c.rate
+			cfg.Seed = seed
+			cfg.Warmup = 0
+			cfg.Measure = 5000
+			cfg.MaxDrain = 120000
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%v/%s seed %d: %v", c.kind, c.pat.Name, seed, err)
+			}
+			n.Run()
+			if !n.Quiescent() {
+				t.Errorf("%v/%s/vc%d/q%d seed %d: %d transactions lost",
+					c.kind, c.pat.Name, c.vcs, c.qcap, seed, n.Table.Len())
+			}
+			if n.Stats.TxnCompleted == 0 {
+				t.Errorf("%v/%s seed %d: nothing completed", c.kind, c.pat.Name, seed)
+			}
+		}
+	}
+}

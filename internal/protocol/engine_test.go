@@ -1,0 +1,320 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/message"
+)
+
+func newTestEngine(t *testing.T, p *Pattern) *Engine {
+	t.Helper()
+	e, err := NewEngine(p, DefaultLengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsBadLengths(t *testing.T) {
+	if _, err := NewEngine(PAT100, Lengths{Request: 0, Reply: 20, Backoff: 4}); err == nil {
+		t.Fatal("zero request length accepted")
+	}
+}
+
+// walkChain services every message of a transaction in order and returns the
+// full list of messages generated, starting from m1.
+func walkChain(e *Engine, t *Transaction) []*message.Message {
+	var all []*message.Message
+	frontier := []*message.Message{e.FirstMessage(t, 0)}
+	for len(frontier) > 0 {
+		m := frontier[0]
+		frontier = frontier[1:]
+		all = append(all, m)
+		frontier = append(frontier, e.Subordinates(t, m, 0)...)
+	}
+	return all
+}
+
+func TestChain2Walk(t *testing.T) {
+	e := newTestEngine(t, PAT100)
+	txn := e.NewTransaction(Chain2, 3, 9, []int{0}, 0)
+	msgs := walkChain(e, txn)
+	if len(msgs) != 2 {
+		t.Fatalf("chain2 produced %d messages", len(msgs))
+	}
+	m1, m4 := msgs[0], msgs[1]
+	if m1.Src != 3 || m1.Dst != 9 || m1.Type != message.M1 || m1.Preallocated {
+		t.Fatalf("m1 wrong: %v", m1)
+	}
+	if m4.Src != 9 || m4.Dst != 3 || m4.Type != message.M4 || !m4.Preallocated {
+		t.Fatalf("m4 wrong: %v", m4)
+	}
+	if m1.Flits != 4 || m4.Flits != 20 {
+		t.Fatalf("lengths: m1=%d m4=%d", m1.Flits, m4.Flits)
+	}
+}
+
+func TestChain4Walk(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	txn := e.NewTransaction(Chain4S1, 1, 2, []int{5}, 0)
+	msgs := walkChain(e, txn)
+	if len(msgs) != 4 {
+		t.Fatalf("chain4 produced %d messages", len(msgs))
+	}
+	wantRoute := [][2]int{{1, 2}, {2, 5}, {5, 2}, {2, 1}}
+	wantPrealloc := []bool{false, false, true, true}
+	for i, m := range msgs {
+		if m.Src != wantRoute[i][0] || m.Dst != wantRoute[i][1] {
+			t.Errorf("step %d route %d->%d, want %v", i, m.Src, m.Dst, wantRoute[i])
+		}
+		if m.Preallocated != wantPrealloc[i] {
+			t.Errorf("step %d prealloc = %v", i, m.Preallocated)
+		}
+		if m.Hop != i {
+			t.Errorf("step %d hop = %d", i, m.Hop)
+		}
+	}
+	// S-1 style: m2 is a request (4 flits), m3/m4 replies (20 flits).
+	if msgs[1].Flits != 4 || msgs[2].Flits != 20 || msgs[3].Flits != 20 {
+		t.Fatalf("flit lengths: %d %d %d", msgs[1].Flits, msgs[2].Flits, msgs[3].Flits)
+	}
+}
+
+func TestChain3OriginLengths(t *testing.T) {
+	e := newTestEngine(t, PAT280)
+	txn := e.NewTransaction(Chain3Origin, 0, 1, []int{2}, 0)
+	msgs := walkChain(e, txn)
+	if len(msgs) != 3 {
+		t.Fatalf("%d messages", len(msgs))
+	}
+	// Origin: m3 = FRQ is request-class, 4 flits.
+	if msgs[1].Type != message.M3 || msgs[1].Flits != 4 {
+		t.Fatalf("origin m3: type=%v flits=%d", msgs[1].Type, msgs[1].Flits)
+	}
+}
+
+func TestIsTerminating(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	txn := e.NewTransaction(Chain3S1, 0, 1, []int{2}, 0)
+	msgs := walkChain(e, txn)
+	for i, m := range msgs {
+		want := i == len(msgs)-1
+		if got := e.IsTerminating(txn, m); got != want {
+			t.Errorf("step %d terminating = %v", i, got)
+		}
+	}
+}
+
+func TestTransactionCompletion(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	txn := e.NewTransaction(Chain3S1, 0, 1, []int{2}, 0)
+	msgs := walkChain(e, txn)
+	for i, m := range msgs[:len(msgs)-1] {
+		if e.RecordDelivery(txn, m, int64(i)) {
+			t.Fatalf("non-final message %d completed transaction", i)
+		}
+	}
+	if txn.Done() {
+		t.Fatal("done before final delivery")
+	}
+	if !e.RecordDelivery(txn, msgs[len(msgs)-1], 99) {
+		t.Fatal("final delivery did not complete transaction")
+	}
+	if !txn.Done() || txn.FinishedAt != 99 {
+		t.Fatalf("done=%v finishedAt=%d", txn.Done(), txn.FinishedAt)
+	}
+}
+
+func TestBackoffConversion(t *testing.T) {
+	e := newTestEngine(t, PAT280)
+	txn := e.NewTransaction(Chain3Origin, 7, 11, []int{13}, 0)
+	m1 := e.FirstMessage(txn, 0)
+	// Home deflects instead of forwarding.
+	brp := e.Backoff(txn, m1, 10)
+	if !brp.Backoff || brp.Src != 11 || brp.Dst != 7 || !brp.Preallocated {
+		t.Fatalf("brp wrong: %+v", brp)
+	}
+	if brp.Flits != DefaultLengths.Backoff {
+		t.Fatalf("brp length %d", brp.Flits)
+	}
+	if e.ClassOf(brp) != message.ClassReply {
+		t.Fatal("brp is not reply class")
+	}
+	if txn.Deflections != 1 {
+		t.Fatalf("deflections = %d", txn.Deflections)
+	}
+	// The requester re-issues the forwarded request itself.
+	subs := e.Subordinates(txn, brp, 20)
+	if len(subs) != 1 {
+		t.Fatalf("brp produced %d subordinates", len(subs))
+	}
+	frq := subs[0]
+	if frq.Src != 7 || frq.Dst != 13 || frq.Type != message.M3 || !frq.Deflected {
+		t.Fatalf("re-issued FRQ wrong: %+v", frq)
+	}
+	// The chain then continues normally: owner replies to requester.
+	subs = e.Subordinates(txn, frq, 30)
+	if len(subs) != 1 || subs[0].Type != message.M4 || subs[0].Dst != 7 {
+		t.Fatalf("chain after deflection wrong: %v", subs)
+	}
+	// Total messages: m1, brp, frq, m4 = 4 (one more than the 3-chain).
+	if txn.Messages != 4 {
+		t.Fatalf("transaction messages = %d, want 4", txn.Messages)
+	}
+}
+
+func TestWouldGenerateClass(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	txn := e.NewTransaction(Chain4S1, 0, 1, []int{2}, 0)
+	msgs := walkChain(e, txn)
+	// m1 -> m2 is request-class under S-1.
+	if c, ok := e.WouldGenerateClass(txn, msgs[0]); !ok || c != message.ClassRequest {
+		t.Fatalf("m1 subordinate class = %v,%v", c, ok)
+	}
+	// m2 -> m3 is reply-class under S-1.
+	if c, ok := e.WouldGenerateClass(txn, msgs[1]); !ok || c != message.ClassReply {
+		t.Fatalf("m2 subordinate class = %v,%v", c, ok)
+	}
+	// m4 is terminating.
+	if _, ok := e.WouldGenerateClass(txn, msgs[3]); ok {
+		t.Fatal("terminating message claims a subordinate")
+	}
+}
+
+func TestFanoutTransaction(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	inv := &Template{Name: "inv3", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M2, Dest: RoleThird, Fanout: 3},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	txn := e.NewTransaction(inv, 0, 1, []int{4, 5, 6}, 0)
+	m1 := e.FirstMessage(txn, 0)
+	invs := e.Subordinates(txn, m1, 1)
+	if len(invs) != 3 {
+		t.Fatalf("fanout produced %d messages", len(invs))
+	}
+	dsts := map[int]bool{}
+	for b, m := range invs {
+		dsts[m.Dst] = true
+		if m.Branch != b {
+			t.Errorf("branch %d mislabeled as %d", b, m.Branch)
+		}
+	}
+	if !dsts[4] || !dsts[5] || !dsts[6] {
+		t.Fatalf("fanout destinations wrong: %v", dsts)
+	}
+	// Each sharer acks the requester; the transaction completes only after
+	// all three acks.
+	for i, m := range invs {
+		acks := e.Subordinates(txn, m, 2)
+		if len(acks) != 1 || acks[0].Dst != 0 {
+			t.Fatalf("branch %d ack wrong: %v", i, acks)
+		}
+		done := e.RecordDelivery(txn, acks[0], int64(10+i))
+		if (i == 2) != done {
+			t.Fatalf("branch %d completion = %v", i, done)
+		}
+	}
+	if txn.Width() != 3 || !txn.Done() {
+		t.Fatal("fanout transaction did not complete")
+	}
+}
+
+func TestPickTemplateBoundaries(t *testing.T) {
+	e := newTestEngine(t, PAT721)
+	if e.PickTemplate(0.0) != Chain2 {
+		t.Fatal("u=0 should pick first template")
+	}
+	if e.PickTemplate(0.699) != Chain2 {
+		t.Fatal("u=0.699 should still pick chain2")
+	}
+	if e.PickTemplate(0.75) != Chain3S1 {
+		t.Fatal("u=0.75 should pick chain3")
+	}
+	if e.PickTemplate(0.95) != Chain4S1 {
+		t.Fatal("u=0.95 should pick chain4")
+	}
+	if e.PickTemplate(0.999999) != Chain4S1 {
+		t.Fatal("u~1 should pick last template")
+	}
+}
+
+func TestTxnIDsUnique(t *testing.T) {
+	e := newTestEngine(t, PAT100)
+	seen := map[message.TxnID]bool{}
+	for i := 0; i < 100; i++ {
+		txn := e.NewTransaction(Chain2, 0, 1, []int{0}, 0)
+		if seen[txn.ID] {
+			t.Fatalf("duplicate txn id %d", txn.ID)
+		}
+		seen[txn.ID] = true
+	}
+}
+
+func TestMessageLatencyAccessors(t *testing.T) {
+	m := message.NewMessage(1, message.M1, 0, 0, 1, 4, 100)
+	if m.QueueLatency() != -1 || m.TotalLatency() != -1 {
+		t.Fatal("latencies should be -1 before events")
+	}
+	m.Injected = 140
+	m.Delivered = 190
+	if m.QueueLatency() != 40 || m.TotalLatency() != 90 {
+		t.Fatalf("latencies = %d,%d", m.QueueLatency(), m.TotalLatency())
+	}
+}
+
+func TestNackConversion(t *testing.T) {
+	e := newTestEngine(t, PAT271)
+	txn := e.NewTransaction(Chain3S1, 7, 11, []int{13}, 0)
+	m1 := e.FirstMessage(txn, 0)
+	nack := e.Nack(txn, m1, 10)
+	if !nack.Nack || nack.Src != 11 || nack.Dst != 7 || !nack.Preallocated {
+		t.Fatalf("nack wrong: %+v", nack)
+	}
+	if nack.Retries != 1 {
+		t.Fatalf("retries = %d", nack.Retries)
+	}
+	if e.IsTerminating(txn, nack) {
+		t.Fatal("nack must not be terminating")
+	}
+	// Servicing the NACK at the sender re-issues the same step.
+	subs := e.Subordinates(txn, nack, 20)
+	if len(subs) != 1 {
+		t.Fatalf("nack produced %d subordinates", len(subs))
+	}
+	retry := subs[0]
+	if retry.Type != m1.Type || retry.Src != m1.Src || retry.Dst != m1.Dst || retry.Hop != m1.Hop {
+		t.Fatalf("retry differs from original: %+v vs %+v", retry, m1)
+	}
+	if retry.Retries != 1 || !retry.Deflected {
+		t.Fatalf("retry bookkeeping wrong: %+v", retry)
+	}
+	// A second kill raises the retry count (for exponential backoff).
+	nack2 := e.Nack(txn, retry, 30)
+	if nack2.Retries != 2 {
+		t.Fatalf("second nack retries = %d", nack2.Retries)
+	}
+	// The retried chain continues normally afterwards.
+	subs = e.Subordinates(txn, retry, 40)
+	if len(subs) != 1 || subs[0].Type != message.M2 {
+		t.Fatalf("chain after retry wrong: %v", subs)
+	}
+}
+
+func TestNextStepInfoForNack(t *testing.T) {
+	e := newTestEngine(t, PAT271)
+	txn := e.NewTransaction(Chain3S1, 0, 1, []int{2}, 0)
+	m1 := e.FirstMessage(txn, 0)
+	nack := e.Nack(txn, m1, 0)
+	typ, count, subTerm, ok := e.NextStepInfo(txn, nack)
+	if !ok || typ != message.M1 || count != 1 || subTerm {
+		t.Fatalf("nack next-step info wrong: %v %d %v %v", typ, count, subTerm, ok)
+	}
+	if e.ClassOf(nack) != message.ClassReply {
+		t.Fatal("nack must be reply class")
+	}
+}

@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/message"
+)
+
+func TestCanonicalTemplatesValidate(t *testing.T) {
+	for _, tmpl := range []*Template{Chain2, Chain3S1, Chain4S1, Chain3Origin} {
+		if err := tmpl.Validate(); err != nil {
+			t.Errorf("%s: %v", tmpl.Name, err)
+		}
+	}
+}
+
+func TestTemplateValidationRejectsBadShapes(t *testing.T) {
+	bad := []*Template{
+		{Name: "empty"},
+		{Name: "no-m1", Steps: []Step{{Type: message.M2, Dest: RoleHome}, {Type: message.M4, Dest: RoleRequester}}},
+		{Name: "no-term", Steps: []Step{{Type: message.M1, Dest: RoleHome}, {Type: message.M3, Dest: RoleThird}}},
+		{Name: "order", Steps: []Step{{Type: message.M1, Dest: RoleHome}, {Type: message.M3, Dest: RoleThird}, {Type: message.M2, Dest: RoleHome}, {Type: message.M4, Dest: RoleRequester}}},
+		{Name: "end-not-req", Steps: []Step{{Type: message.M1, Dest: RoleHome}, {Type: message.M4, Dest: RoleThird}}},
+	}
+	for _, tmpl := range bad {
+		if err := tmpl.Validate(); err == nil {
+			t.Errorf("%s: validated but should not", tmpl.Name)
+		}
+	}
+}
+
+func TestPatternsValidate(t *testing.T) {
+	for _, p := range Patterns {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestChainLengths(t *testing.T) {
+	if Chain2.ChainLength() != 2 || Chain3S1.ChainLength() != 3 || Chain4S1.ChainLength() != 4 || Chain3Origin.ChainLength() != 3 {
+		t.Fatal("chain lengths wrong")
+	}
+}
+
+func TestMaxChainLength(t *testing.T) {
+	cases := map[string]int{"PAT100": 2, "PAT721": 4, "PAT451": 4, "PAT271": 4, "PAT280": 3}
+	for _, p := range Patterns {
+		if got := p.MaxChainLength(); got != cases[p.Name] {
+			t.Errorf("%s max chain = %d, want %d", p.Name, got, cases[p.Name])
+		}
+	}
+}
+
+// TestTypeDistributionMatchesTable3 checks the message-type distributions of
+// Table 3. The paper's printed PAT721 m1/m4 values (47.7%) are a typo for
+// 41.7% (the row does not sum to 100% as printed); all other rows match the
+// printed values to one decimal.
+func TestTypeDistributionMatchesTable3(t *testing.T) {
+	want := map[string][4]float64{
+		"PAT100": {0.500, 0, 0, 0.500},
+		"PAT721": {0.417, 0.124, 0.042, 0.417}, // paper prints 47.7 (typo)
+		"PAT451": {0.371, 0.221, 0.037, 0.371},
+		"PAT271": {0.345, 0.276, 0.034, 0.345},
+		"PAT280": {0.357, 0, 0.286, 0.357},
+	}
+	for _, p := range Patterns {
+		got := p.TypeDistribution()
+		w := want[p.Name]
+		for i := 0; i < 4; i++ {
+			if math.Abs(got[i]-w[i]) > 0.0055 {
+				t.Errorf("%s m%d = %.3f, want %.3f", p.Name, i+1, got[i], w[i])
+			}
+		}
+		var sum float64
+		for _, v := range got {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s distribution sums to %v", p.Name, sum)
+		}
+	}
+}
+
+func TestChainLengthDistribution(t *testing.T) {
+	d := PAT721.ChainLengthDistribution()
+	if math.Abs(d[2]-0.7) > 1e-9 || math.Abs(d[3]-0.2) > 1e-9 || math.Abs(d[4]-0.1) > 1e-9 {
+		t.Fatalf("PAT721 chain distribution = %v", d)
+	}
+	d = PAT280.ChainLengthDistribution()
+	if math.Abs(d[2]-0.2) > 1e-9 || math.Abs(d[3]-0.8) > 1e-9 || d[4] != 0 {
+		t.Fatalf("PAT280 chain distribution = %v", d)
+	}
+}
+
+func TestAverageChainLength(t *testing.T) {
+	cases := map[string]float64{"PAT100": 2.0, "PAT721": 2.4, "PAT451": 2.7, "PAT271": 2.9, "PAT280": 2.8}
+	for _, p := range Patterns {
+		if got := p.AverageChainLength(); math.Abs(got-cases[p.Name]) > 1e-9 {
+			t.Errorf("%s avg chain = %v, want %v", p.Name, got, cases[p.Name])
+		}
+	}
+}
+
+func TestUsedTypes(t *testing.T) {
+	got := PAT280.UsedTypes()
+	want := []message.Type{message.M1, message.M3, message.M4}
+	if len(got) != len(want) {
+		t.Fatalf("PAT280 used types = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("PAT280 used types = %v, want %v", got, want)
+		}
+	}
+	if n := len(PAT100.UsedTypes()); n != 2 {
+		t.Fatalf("PAT100 uses %d types, want 2", n)
+	}
+}
+
+func TestStyleClassMappings(t *testing.T) {
+	// S-1 / MSI: m1,m2 requests; m3,m4 replies (Figure 5).
+	if StyleS1.ClassOf(message.M1) != message.ClassRequest ||
+		StyleS1.ClassOf(message.M2) != message.ClassRequest ||
+		StyleS1.ClassOf(message.M3) != message.ClassReply ||
+		StyleS1.ClassOf(message.M4) != message.ClassReply {
+		t.Fatal("S-1 class mapping wrong")
+	}
+	// Origin2000: ORQ(m1), FRQ(m3) requests; BRP(m2), TRP(m4) replies (Figure 2).
+	if StyleOrigin.ClassOf(message.M1) != message.ClassRequest ||
+		StyleOrigin.ClassOf(message.M2) != message.ClassReply ||
+		StyleOrigin.ClassOf(message.M3) != message.ClassRequest ||
+		StyleOrigin.ClassOf(message.M4) != message.ClassReply {
+		t.Fatal("Origin class mapping wrong")
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	p, err := PatternByName("PAT451")
+	if err != nil || p != PAT451 {
+		t.Fatalf("PatternByName(PAT451) = %v, %v", p, err)
+	}
+	if _, err := PatternByName("PAT999"); err == nil {
+		t.Fatal("unknown pattern did not error")
+	}
+}
+
+func TestFanoutTemplateValidates(t *testing.T) {
+	inv := &Template{Name: "inv4", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M2, Dest: RoleThird, Fanout: 4},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fi, w := inv.FanoutIndex()
+	if fi != 1 || w != 4 {
+		t.Fatalf("fanout index = %d,%d", fi, w)
+	}
+	// Fanout on a non-third role is invalid.
+	bad := &Template{Name: "badfan", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome, Fanout: 2},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("fanout on home validated")
+	}
+}
+
+func TestFanoutWidensTypeDistribution(t *testing.T) {
+	inv := &Template{Name: "inv2", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M2, Dest: RoleThird, Fanout: 2},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	p := &Pattern{Name: "fan", Style: StyleS1, Templates: []*Template{inv}, Weights: []float64{1}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.TypeDistribution()
+	// 1 m1, 2 m2, 2 m4 per transaction.
+	if math.Abs(d[message.M1]-0.2) > 1e-9 || math.Abs(d[message.M2]-0.4) > 1e-9 || math.Abs(d[message.M4]-0.4) > 1e-9 {
+		t.Fatalf("fanout distribution = %v", d)
+	}
+}

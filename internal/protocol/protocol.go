@@ -1,0 +1,181 @@
+// Package protocol models communication-protocol message dependencies: the
+// partial order m1 < m2 < m3 < m4 of the paper's generic cache-coherence
+// protocol (Figure 7), transaction templates for each dependency-chain shape,
+// the five synthetic message-type distributions of Table 3 (PAT100 through
+// PAT280), the request/reply class mappings of the S-1/MSI and Origin2000
+// protocols, and the backoff-reply (BRP) conversion used by deflective
+// recovery.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+)
+
+// Role identifies which participant of a transaction receives a message.
+type Role int
+
+const (
+	// RoleRequester is the node that issued the original request (R).
+	RoleRequester Role = iota
+	// RoleHome is the directory/home node of the requested block (H).
+	RoleHome
+	// RoleThird is the owner or sharer node (T), distinct per fanout
+	// branch.
+	RoleThird
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleRequester:
+		return "R"
+	case RoleHome:
+		return "H"
+	case RoleThird:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Step is one message of a transaction template: the generic type sent and
+// the role that receives it. The sender of step i is the receiver of step
+// i-1; the sender of step 0 is the requester.
+type Step struct {
+	Type message.Type
+	Dest Role
+	// Fanout is the number of parallel receivers for a RoleThird step
+	// (e.g. the number of sharers receiving invalidations). Steps after a
+	// fanout step are replicated per branch. At most one step per template
+	// may have Fanout > 1.
+	Fanout int
+}
+
+// Template is one dependency-chain shape: an ordered list of steps. The
+// paper's shapes (Section 4.3.1, derived from Table 3's distribution
+// algebra):
+//
+//	chain-2:          m1:R->H,  m4:H->R                    (direct reply)
+//	chain-3 (S-1):    m1:R->H,  m2:H->T,  m4:T->R          (invalidation)
+//	chain-4 (S-1):    m1:R->H,  m2:H->T,  m3:T->H, m4:H->R (forwarding)
+//	chain-3 (Origin): m1:R->H,  m3:H->T,  m4:T->R          (forwarding)
+type Template struct {
+	Name  string
+	Steps []Step
+}
+
+// ChainLength returns the number of message types in the chain (the number
+// of steps; fanout does not change chain length).
+func (t *Template) ChainLength() int { return len(t.Steps) }
+
+// FanoutIndex returns the index of the fanout step and its width, or (-1, 1)
+// if the template has no fanout.
+func (t *Template) FanoutIndex() (int, int) {
+	for i, s := range t.Steps {
+		if s.Fanout > 1 {
+			return i, s.Fanout
+		}
+	}
+	return -1, 1
+}
+
+// Validate checks template well-formedness: non-empty, starts with m1 to the
+// home, ends with a terminating m4 to the requester, types strictly
+// ascending (the partial order), and at most one fanout step.
+func (t *Template) Validate() error {
+	if len(t.Steps) < 2 {
+		return fmt.Errorf("protocol: template %q has %d steps, need >= 2", t.Name, len(t.Steps))
+	}
+	if t.Steps[0].Type != message.M1 || t.Steps[0].Dest != RoleHome {
+		return fmt.Errorf("protocol: template %q must start with m1 to home", t.Name)
+	}
+	last := t.Steps[len(t.Steps)-1]
+	if last.Type != message.M4 || last.Dest != RoleRequester {
+		return fmt.Errorf("protocol: template %q must end with m4 to requester", t.Name)
+	}
+	fanouts := 0
+	for i := 1; i < len(t.Steps); i++ {
+		if t.Steps[i].Type <= t.Steps[i-1].Type {
+			return fmt.Errorf("protocol: template %q violates the partial order at step %d", t.Name, i)
+		}
+	}
+	for _, s := range t.Steps {
+		if s.Fanout > 1 {
+			fanouts++
+		}
+		if s.Fanout > 1 && s.Dest != RoleThird {
+			return fmt.Errorf("protocol: template %q fans out to a non-third role", t.Name)
+		}
+	}
+	if fanouts > 1 {
+		return fmt.Errorf("protocol: template %q has %d fanout steps, max 1", t.Name, fanouts)
+	}
+	return nil
+}
+
+// Canonical templates.
+var (
+	// Chain2 is the direct-reply transaction.
+	Chain2 = &Template{Name: "chain2", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	// Chain3S1 is the S-1/MSI invalidation transaction (intermediate m2).
+	Chain3S1 = &Template{Name: "chain3-s1", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M2, Dest: RoleThird},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	// Chain4S1 is the S-1/MSI ownership-forwarding transaction routed back
+	// through the home.
+	Chain4S1 = &Template{Name: "chain4-s1", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M2, Dest: RoleThird},
+		{Type: message.M3, Dest: RoleHome},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+	// Chain3Origin is the Origin2000 three-hop forwarding transaction
+	// (intermediate m3 = FRQ; m2 = BRP is reserved for deflection).
+	Chain3Origin = &Template{Name: "chain3-origin", Steps: []Step{
+		{Type: message.M1, Dest: RoleHome},
+		{Type: message.M3, Dest: RoleThird},
+		{Type: message.M4, Dest: RoleRequester},
+	}}
+)
+
+// Style selects the request/reply class mapping used by two-network schemes.
+type Style int
+
+const (
+	// StyleS1 maps m1,m2 -> request network and m3,m4 -> reply network
+	// (S-1 / MSI: RQ, FRQ are requests; FRP, RP are replies).
+	StyleS1 Style = iota
+	// StyleOrigin maps m1,m3 -> request network and m2,m4 -> reply network
+	// (Origin2000: ORQ, FRQ are requests; BRP, TRP are replies).
+	StyleOrigin
+)
+
+func (s Style) String() string {
+	if s == StyleS1 {
+		return "s1"
+	}
+	return "origin"
+}
+
+// ClassOf returns the virtual-network class of a message type under this
+// style.
+func (s Style) ClassOf(t message.Type) message.Class {
+	switch s {
+	case StyleOrigin:
+		if t == message.M1 || t == message.M3 {
+			return message.ClassRequest
+		}
+		return message.ClassReply
+	default: // StyleS1
+		if t == message.M1 || t == message.M2 {
+			return message.ClassRequest
+		}
+		return message.ClassReply
+	}
+}

@@ -1,0 +1,35 @@
+package protocol
+
+import "repro/internal/message"
+
+// Table is the global registry of in-flight transactions, shared by every
+// network interface so that servicing a message can resolve its transaction
+// and derive subordinates.
+type Table struct {
+	txns map[message.TxnID]*Transaction
+}
+
+// NewTable returns an empty transaction table.
+func NewTable() *Table {
+	return &Table{txns: make(map[message.TxnID]*Transaction)}
+}
+
+// Add registers a transaction.
+func (t *Table) Add(txn *Transaction) { t.txns[txn.ID] = txn }
+
+// Get returns the transaction for an ID; it panics on an unknown ID, which
+// always indicates a simulator bug (messages cannot outlive their
+// transactions).
+func (t *Table) Get(id message.TxnID) *Transaction {
+	txn, ok := t.txns[id]
+	if !ok {
+		panic("protocol: unknown transaction")
+	}
+	return txn
+}
+
+// Remove deletes a completed transaction, bounding table growth.
+func (t *Table) Remove(id message.TxnID) { delete(t.txns, id) }
+
+// Len returns the number of registered (in-flight) transactions.
+func (t *Table) Len() int { return len(t.txns) }

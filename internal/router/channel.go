@@ -1,0 +1,214 @@
+// Package router implements the wormhole-switched, virtual-channel,
+// input-buffered router model of the simulator: unidirectional physical
+// channels carrying several virtual channels with small flit buffers
+// (Table 2: 2 flits per channel buffer), header route computation and
+// virtual-channel allocation, switch arbitration at one flit per physical
+// channel per cycle, and the per-router Disha deadlock buffer used by the
+// progressive recovery lane.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/topology"
+)
+
+// ChannelKind distinguishes the three physical channel roles.
+type ChannelKind int
+
+const (
+	// KindLink is a router-to-router link channel.
+	KindLink ChannelKind = iota
+	// KindInject is an NI-to-router injection channel.
+	KindInject
+	// KindEject is a router-to-NI ejection channel.
+	KindEject
+)
+
+func (k ChannelKind) String() string {
+	switch k {
+	case KindLink:
+		return "link"
+	case KindInject:
+		return "inject"
+	default:
+		return "eject"
+	}
+}
+
+// VC is one virtual channel: a small FIFO flit buffer plus wormhole state.
+// Ownership follows the standard discipline: the allocator (upstream router
+// VA stage, or the NI for injection channels) sets Owner when it assigns the
+// VC to a packet's worm; the dequeuer (downstream router, or the NI for
+// ejection channels) clears it when the tail flit leaves the buffer.
+type VC struct {
+	// Ch is the physical channel this VC belongs to; Index its position.
+	Ch    *Channel
+	Index int
+
+	cap    int
+	buf    []message.Flit
+	staged []message.Flit
+
+	// Owner is the packet whose worm currently holds this VC, nil if free.
+	Owner *message.Packet
+	// Route is the downstream VC allocated for Owner's worm when this VC
+	// acts as a router input, nil before virtual-channel allocation.
+	Route *VC
+	// RoutePort is the output port of Route at the router consuming this
+	// VC as an input (meaningful only when Route != nil).
+	RoutePort int
+
+	// LastMove is the last cycle a flit was dequeued from this buffer, or
+	// the cycle the buffer last became occupied; used by timeout-based
+	// deadlock detection.
+	LastMove int64
+
+	// Knotted marks this VC as part of a knot in the most recent
+	// channel-wait-for-graph scan: its occupant cannot reach any
+	// progressing resource. Progressive recovery uses the flag to rescue
+	// genuinely deadlocked packets rather than merely congested ones
+	// (blocked-time alone cannot distinguish the two once endpoint
+	// controllers saturate).
+	Knotted bool
+}
+
+// Cap returns the buffer capacity in flits.
+func (v *VC) Cap() int { return v.cap }
+
+// Len returns the number of committed flits buffered.
+func (v *VC) Len() int { return len(v.buf) }
+
+// SpaceFor reports whether a new flit may be staged into this VC this cycle
+// (committed plus staged occupancy below capacity).
+func (v *VC) SpaceFor() bool { return len(v.buf)+len(v.staged) < v.cap }
+
+// Front returns the flit at the head of the buffer.
+func (v *VC) Front() (message.Flit, bool) {
+	if len(v.buf) == 0 {
+		return message.Flit{}, false
+	}
+	return v.buf[0], true
+}
+
+// Stage appends a flit to arrive at the end of this cycle.
+func (v *VC) Stage(f message.Flit) {
+	if !v.SpaceFor() {
+		panic(fmt.Sprintf("router: staging into full VC %v", v))
+	}
+	v.staged = append(v.staged, f)
+}
+
+// Commit merges staged arrivals into the visible buffer; the network calls
+// this once per cycle after all routers and NIs have acted, so that a flit
+// traverses at most one hop per cycle.
+func (v *VC) Commit(now int64) {
+	if len(v.staged) > 0 {
+		if len(v.buf) == 0 {
+			v.LastMove = now
+		}
+		v.buf = append(v.buf, v.staged...)
+		v.staged = v.staged[:0]
+	}
+}
+
+// Dequeue removes and returns the head flit, updating wormhole state: on
+// tail departure the VC is freed (ownership and route cleared).
+func (v *VC) Dequeue(now int64) message.Flit {
+	if len(v.buf) == 0 {
+		panic("router: dequeue from empty VC")
+	}
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	v.LastMove = now
+	if f.Tail() {
+		v.Owner = nil
+		v.Route = nil
+		v.RoutePort = 0
+	}
+	return f
+}
+
+// Evacuate removes every flit of the (rescued) owner packet from this VC and
+// clears ownership and routing state. It returns the number of flits
+// removed. The progressive-recovery engine uses this to drain a deadlocked
+// worm into the recovery lane.
+func (v *VC) Evacuate(pkt *message.Packet, now int64) int {
+	if v.Owner != pkt {
+		return 0
+	}
+	n := len(v.buf) + len(v.staged)
+	v.buf = v.buf[:0]
+	v.staged = v.staged[:0]
+	v.Owner = nil
+	v.Route = nil
+	v.RoutePort = 0
+	v.LastMove = now
+	return n
+}
+
+// Blocked reports whether the VC holds flits and has made no progress for
+// more than threshold cycles, the trigger for router-level timeout
+// detection under true fully adaptive routing.
+func (v *VC) Blocked(now int64, threshold int64) bool {
+	return len(v.buf) > 0 && now-v.LastMove > threshold
+}
+
+func (v *VC) String() string {
+	return fmt.Sprintf("%v.vc%d", v.Ch, v.Index)
+}
+
+// Channel is one unidirectional physical channel with its virtual channels.
+type Channel struct {
+	Kind ChannelKind
+	// Src and Dst are the routers at the channel ends. For injection
+	// channels Src is the NI's router (Dst equals it); for ejection
+	// channels likewise. Local identifies the NI for inject/eject kinds.
+	Src, Dst topology.NodeID
+	// Dir is the travel direction for link channels.
+	Dir   topology.Direction
+	Local int
+	// ID is a dense global index assigned by the network, used by the
+	// channel-wait-for-graph detector.
+	ID  int
+	VCs []*VC
+}
+
+// NewChannel builds a channel with vcs virtual channels of depth flitBuf.
+func NewChannel(kind ChannelKind, src, dst topology.NodeID, dir topology.Direction, local, id, vcs, flitBuf int) *Channel {
+	ch := &Channel{Kind: kind, Src: src, Dst: dst, Dir: dir, Local: local, ID: id}
+	ch.VCs = make([]*VC, vcs)
+	for i := range ch.VCs {
+		ch.VCs[i] = &VC{Ch: ch, Index: i, cap: flitBuf}
+	}
+	return ch
+}
+
+func (c *Channel) String() string {
+	switch c.Kind {
+	case KindLink:
+		return fmt.Sprintf("link[%d%v]", c.Src, c.Dir)
+	case KindInject:
+		return fmt.Sprintf("inj[%d.%d]", c.Src, c.Local)
+	default:
+		return fmt.Sprintf("ej[%d.%d]", c.Src, c.Local)
+	}
+}
+
+// Commit commits staged arrivals on all VCs.
+func (c *Channel) Commit(now int64) {
+	for _, v := range c.VCs {
+		v.Commit(now)
+	}
+}
+
+// Occupied returns the number of flits buffered across all VCs.
+func (c *Channel) Occupied() int {
+	n := 0
+	for _, v := range c.VCs {
+		n += v.Len()
+	}
+	return n
+}

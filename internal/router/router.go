@@ -1,0 +1,230 @@
+package router
+
+import (
+	"repro/internal/message"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Policy supplies routing candidates for a packet positioned at this router.
+// The network layer builds it from the routing function and the handling
+// scheme's virtual-channel partition for the packet's message type.
+type Policy interface {
+	// Candidates returns the ordered (port, VC) candidates for pkt at
+	// router r. Ports follow the routing package encoding: link directions
+	// first, then ejection ports.
+	Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC
+}
+
+// Router is one wormhole router: link input channels plus local injection
+// channels feed a crossbar to link output channels and local ejection
+// channels. It also hosts the flit-sized Disha deadlock buffer (DB); the
+// recovery-lane pipeline that uses it lives in the network layer's rescue
+// engine, which has global token state.
+type Router struct {
+	ID topology.NodeID
+
+	// Inputs: indices 0..dirs-1 are link inputs (flits travelling in
+	// direction d arrive on input d), dirs..dirs+bristling-1 are injection
+	// channels from local NIs.
+	Inputs []*Channel
+	// Outputs: indices 0..dirs-1 are link outputs in direction d,
+	// dirs..dirs+bristling-1 are ejection channels to local NIs.
+	Outputs []*Channel
+
+	policy Policy
+
+	// DBBusy marks the router's Disha deadlock buffer as holding a flit of
+	// the packet currently being rescued. Only the token holder's packet
+	// may occupy it, so a single flag suffices.
+	DBBusy bool
+
+	// round-robin state for fair arbitration.
+	vaRR   int
+	pickRR int
+	saRR   []int
+	moved  []bool // per input channel: already forwarded a flit this cycle
+}
+
+// New builds a router shell; the network wires Inputs/Outputs afterwards.
+func New(id topology.NodeID, policy Policy, numIn, numOut int) *Router {
+	return &Router{
+		ID:      id,
+		policy:  policy,
+		Inputs:  make([]*Channel, numIn),
+		Outputs: make([]*Channel, numOut),
+		saRR:    make([]int, numOut),
+		moved:   make([]bool, numIn),
+	}
+}
+
+// outputVC resolves a routing candidate to the concrete VC object.
+func (r *Router) outputVC(c routing.PortVC) *VC {
+	return r.Outputs[c.Port].VCs[c.VC]
+}
+
+// pickCandidate chooses among free candidates: rotating over the free
+// non-escape (adaptive) ones so traffic spreads across the channel set, and
+// falling back to the first free escape candidate, preserving Duato's
+// adaptive-first preference.
+func (r *Router) pickCandidate(cands []routing.PortVC) (routing.PortVC, bool) {
+	var freeAdaptive []routing.PortVC
+	var escape routing.PortVC
+	haveEscape := false
+	for _, c := range cands {
+		if r.outputVC(c).Owner != nil {
+			continue
+		}
+		if c.Escape {
+			if !haveEscape {
+				escape = c
+				haveEscape = true
+			}
+			continue
+		}
+		freeAdaptive = append(freeAdaptive, c)
+	}
+	if len(freeAdaptive) > 0 {
+		r.pickRR++
+		return freeAdaptive[r.pickRR%len(freeAdaptive)], true
+	}
+	if haveEscape {
+		return escape, true
+	}
+	return routing.PortVC{}, false
+}
+
+// allocate performs virtual-channel allocation for every input VC whose
+// front flit is an unrouted header: the first candidate VC not owned by
+// another packet is claimed. Candidate order encodes policy preference
+// (adaptive first, escape last).
+func (r *Router) allocate() {
+	n := len(r.Inputs)
+	for k := 0; k < n; k++ {
+		in := r.Inputs[(r.vaRR+k)%n]
+		if in == nil {
+			continue
+		}
+		for _, vc := range in.VCs {
+			f, ok := vc.Front()
+			if !ok || !f.Head() || vc.Route != nil {
+				continue
+			}
+			if f.Pkt.BeingRescued {
+				continue
+			}
+			cands := r.policy.Candidates(r.ID, f.Pkt)
+			if pick, ok := r.pickCandidate(cands); ok {
+				out := r.outputVC(pick)
+				out.Owner = f.Pkt
+				vc.Route = out
+				vc.RoutePort = pick.Port
+			}
+		}
+	}
+	r.vaRR++
+}
+
+// arbitrate moves at most one flit per output physical channel and at most
+// one flit per input physical channel, round-robin fair across both.
+func (r *Router) arbitrate(now int64) {
+	for i := range r.moved {
+		r.moved[i] = false
+	}
+	for o, out := range r.Outputs {
+		if out == nil {
+			continue
+		}
+		// Gather requesting input VCs: routed onto this output, flit
+		// ready, downstream space, input channel still idle this cycle.
+		var reqs []*VC
+		for i, in := range r.Inputs {
+			if in == nil || r.moved[i] {
+				continue
+			}
+			for _, vc := range in.VCs {
+				if vc.Route == nil || vc.RoutePort != o || vc.Len() == 0 {
+					continue
+				}
+				if !vc.Route.SpaceFor() {
+					continue
+				}
+				if f, _ := vc.Front(); f.Pkt.BeingRescued {
+					continue
+				}
+				reqs = append(reqs, vc)
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		winner := reqs[r.saRR[o]%len(reqs)]
+		r.saRR[o]++
+		// Identify the winner's input channel to charge its bandwidth.
+		for i, in := range r.Inputs {
+			if in == winner.Ch {
+				r.moved[i] = true
+				break
+			}
+		}
+		// Capture the target before Dequeue, which clears Route when the
+		// tail flit departs.
+		target := winner.Route
+		target.Stage(winner.Dequeue(now))
+	}
+}
+
+// Step runs one cycle of the router pipeline: VC allocation then switch
+// arbitration and link traversal. Staged arrivals are committed by the
+// network after every component has stepped.
+func (r *Router) Step(now int64) {
+	r.allocate()
+	r.arbitrate(now)
+}
+
+// BlockedPackets returns the distinct packets whose header flit sits
+// unmoved at the front of one of this router's input VCs for more than
+// threshold cycles — the router-level timeout detector used by progressive
+// recovery under true fully adaptive routing.
+func (r *Router) BlockedPackets(now int64, threshold int64) []*message.Packet {
+	return r.scanInputs(func(vc *VC) bool { return vc.Blocked(now, threshold) })
+}
+
+// RescuablePackets returns the packets eligible for a Disha rescue at this
+// router: the header at the front of an input VC that the channel-wait-for
+// graph observer has flagged as part of a knot, or — as a fallback when
+// scans are disabled or stale — one blocked beyond the (large) timeout.
+// Knot gating matters because blocked-time alone cannot distinguish
+// deadlock from saturation-level congestion; rescuing merely congested
+// packets through the one-at-a-time recovery lane slows them down.
+func (r *Router) RescuablePackets(now int64, timeout int64) []*message.Packet {
+	return r.scanInputs(func(vc *VC) bool {
+		return (vc.Knotted && vc.Len() > 0) || vc.Blocked(now, timeout)
+	})
+}
+
+// scanInputs collects distinct packets whose header fronts an input VC
+// matching pred.
+func (r *Router) scanInputs(pred func(*VC) bool) []*message.Packet {
+	var out []*message.Packet
+	seen := map[*message.Packet]bool{}
+	for _, in := range r.Inputs {
+		if in == nil {
+			continue
+		}
+		for _, vc := range in.VCs {
+			if !pred(vc) {
+				continue
+			}
+			f, ok := vc.Front()
+			if !ok {
+				continue
+			}
+			if f.Head() && !f.Pkt.BeingRescued && !seen[f.Pkt] {
+				seen[f.Pkt] = true
+				out = append(out, f.Pkt)
+			}
+		}
+	}
+	return out
+}

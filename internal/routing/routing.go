@@ -1,0 +1,176 @@
+// Package routing implements the routing functions evaluated in the paper:
+// deterministic dimension-order routing with the Dally-Seitz two-virtual-
+// channel dateline discipline for tori, Duato's protocol (minimal fully
+// adaptive channels backed by a deadlock-free escape subnetwork), and True
+// Fully Adaptive Routing (all virtual channels usable with no restriction,
+// relying on deadlock recovery). Functions are stateless: given a packet's
+// position and destination plus the virtual-channel sets a handling scheme
+// makes available, they return an ordered candidate list of (port, VC)
+// pairs.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Mode selects the routing algorithm.
+type Mode int
+
+const (
+	// DOR is deterministic dimension-order routing on the escape VCs.
+	DOR Mode = iota
+	// Duato is minimal fully adaptive routing on the adaptive VCs with a
+	// DOR escape path always available (Duato's protocol).
+	Duato
+	// TFAR is true fully adaptive routing: every VC in the allowed set is
+	// usable on any minimal direction; deadlock is possible and must be
+	// recovered from.
+	TFAR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DOR:
+		return "dor"
+	case Duato:
+		return "duato"
+	case TFAR:
+		return "tfar"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PortVC is a routing candidate: an output port of the current router and a
+// virtual-channel index on that port. Ports 0..Directions-1 are link outputs
+// in topology direction order; port Directions+k is the ejection channel to
+// the router's k-th local network interface. Escape marks the candidate as
+// an escape-channel hop (allocation prefers adaptive candidates and spreads
+// across them; the escape is the guaranteed fallback of Duato's protocol).
+type PortVC struct {
+	Port   int
+	VC     int
+	Escape bool
+}
+
+// EjectPort returns the port number of the ejection channel to local NI k.
+func EjectPort(t *topology.Torus, k int) int { return t.Directions() + k }
+
+// IsEject reports whether port p is an ejection port, and which local NI it
+// targets.
+func IsEject(t *topology.Torus, p int) (int, bool) {
+	if p >= t.Directions() {
+		return p - t.Directions(), true
+	}
+	return 0, false
+}
+
+// VCSet is the pair of virtual-channel index sets a scheme grants a message:
+// escape channels (two for torus DOR in dateline order — Escape[0] before
+// the wrap crossing, Escape[1] after — or one for a mesh) and adaptive
+// channels (possibly empty).
+type VCSet struct {
+	Escape   []int
+	Adaptive []int
+}
+
+// All returns every VC index in the set, adaptive first.
+func (s VCSet) All() []int {
+	out := make([]int, 0, len(s.Adaptive)+len(s.Escape))
+	out = append(out, s.Adaptive...)
+	out = append(out, s.Escape...)
+	return out
+}
+
+// dorStep returns the dimension-order next hop: the direction resolving the
+// lowest unresolved dimension, or ok=false at the destination router.
+func dorStep(t *topology.Torus, cur, dst topology.NodeID) (topology.Direction, bool) {
+	delta := t.Delta(cur, dst)
+	for dim, d := range delta {
+		if d > 0 {
+			return topology.Direction(2 * dim), true
+		}
+		if d < 0 {
+			return topology.Direction(2*dim + 1), true
+		}
+	}
+	return 0, false
+}
+
+// datelineVC picks which of the two escape VCs a DOR packet must use for a
+// hop in direction dir: escape[0] while the remaining path in dir's
+// dimension still has the wraparound link ahead of it, escape[1] once it
+// does not. The wrap edge of each unidirectional ring is therefore only ever
+// used on escape[0], and escape[1] forms a spiral with no cycle, giving an
+// acyclic escape channel-dependency graph (Dally-Seitz).
+func datelineVC(t *topology.Torus, cur, dst topology.NodeID, dir topology.Direction) int {
+	if !t.Wrap {
+		return 0 // a mesh has no datelines; its single escape VC suffices
+	}
+	delta := t.Delta(cur, dst)[dir.Dim()]
+	hops := delta
+	if hops < 0 {
+		hops = -hops
+	}
+	// Walk the remaining ring path and see if it includes the wrap edge.
+	node := cur
+	for i := 0; i < hops; i++ {
+		if t.CrossesWrap(node, dir) {
+			return 0
+		}
+		node = t.Neighbor(node, dir)
+	}
+	return 1
+}
+
+// Candidates returns the ordered (port, VC) candidates for a packet at
+// router cur heading to destination router dstRouter, local NI dstLocal,
+// under the given mode and VC set. Adaptive candidates come first so that
+// allocation prefers them; the escape candidate is last, preserving Duato's
+// "escape always available" property while exploiting adaptivity. At the
+// destination router the only candidate is the ejection port, on which every
+// VC in the set is usable.
+func Candidates(t *topology.Torus, mode Mode, cur, dstRouter topology.NodeID, dstLocal int, set VCSet) []PortVC {
+	if cur == dstRouter {
+		ej := EjectPort(t, dstLocal)
+		all := set.All()
+		out := make([]PortVC, 0, len(all))
+		for _, vc := range all {
+			out = append(out, PortVC{Port: ej, VC: vc})
+		}
+		return out
+	}
+	switch mode {
+	case DOR:
+		dir, ok := dorStep(t, cur, dstRouter)
+		if !ok {
+			return nil
+		}
+		return []PortVC{{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true}}
+	case Duato:
+		dirs := t.MinimalDirections(cur, dstRouter)
+		out := make([]PortVC, 0, len(dirs)*len(set.Adaptive)+1)
+		for _, vc := range set.Adaptive {
+			for _, d := range dirs {
+				out = append(out, PortVC{Port: int(d), VC: vc})
+			}
+		}
+		dir, _ := dorStep(t, cur, dstRouter)
+		out = append(out, PortVC{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true})
+		return out
+	case TFAR:
+		dirs := t.MinimalDirections(cur, dstRouter)
+		all := set.All()
+		out := make([]PortVC, 0, len(dirs)*len(all))
+		for _, vc := range all {
+			for _, d := range dirs {
+				out = append(out, PortVC{Port: int(d), VC: vc})
+			}
+		}
+		return out
+	default:
+		panic("routing: unknown mode")
+	}
+}

@@ -1,0 +1,309 @@
+package schemes
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+)
+
+func mustScheme(t *testing.T, kind Kind, pat *protocol.Pattern, vcs int) *Scheme {
+	t.Helper()
+	s, err := New(kind, pat, vcs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSAPartitionsPerUsedType(t *testing.T) {
+	s := mustScheme(t, SA, protocol.PAT721, 16)
+	parts := s.Partitions()
+	if len(parts) != 4 {
+		t.Fatalf("PAT721 SA partitions = %d, want 4", len(parts))
+	}
+	for i, p := range parts {
+		if len(p) != 4 {
+			t.Fatalf("partition %d size %d, want 4", i, len(p))
+		}
+	}
+	// Partitions must be disjoint and cover all VCs.
+	seen := map[int]bool{}
+	for _, p := range parts {
+		for _, vc := range p {
+			if seen[vc] {
+				t.Fatalf("VC %d in two partitions", vc)
+			}
+			seen[vc] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("partitions cover %d VCs, want 16", len(seen))
+	}
+}
+
+func TestSAThreeTypePattern(t *testing.T) {
+	// PAT280 uses m1, m3, m4 only: 3 partitions.
+	s := mustScheme(t, SA, protocol.PAT280, 8)
+	parts := s.Partitions()
+	if len(parts) != 3 {
+		t.Fatalf("PAT280 SA partitions = %d, want 3", len(parts))
+	}
+	// 8 VCs over 3 types: 3,3,2.
+	sizes := []int{len(parts[0]), len(parts[1]), len(parts[2])}
+	if sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 2 {
+		t.Fatalf("partition sizes = %v, want [3 3 2]", sizes)
+	}
+}
+
+func TestSAValidityBoundary(t *testing.T) {
+	// Paper: SA needs more than 4 VCs when the chain length exceeds two.
+	if _, err := New(SA, protocol.PAT721, 4, -1); err == nil {
+		t.Error("SA/PAT721/4VC should be invalid")
+	}
+	if _, err := New(SA, protocol.PAT721, 8, -1); err != nil {
+		t.Errorf("SA/PAT721/8VC should be valid: %v", err)
+	}
+	if _, err := New(SA, protocol.PAT100, 4, -1); err != nil {
+		t.Errorf("SA/PAT100/4VC should be valid: %v", err)
+	}
+	if _, err := New(SA, protocol.PAT280, 4, -1); err == nil {
+		t.Error("SA/PAT280/4VC should be invalid (3 types need 6 VCs)")
+	}
+	if _, err := New(SA, protocol.PAT280, 6, -1); err != nil {
+		t.Error("SA/PAT280/6VC should be valid")
+	}
+}
+
+func TestDRValidity(t *testing.T) {
+	if _, err := New(DR, protocol.PAT100, 8, -1); err == nil {
+		t.Error("DR on PAT100 (chain 2) should be invalid")
+	}
+	if _, err := New(DR, protocol.PAT271, 3, -1); err == nil {
+		t.Error("DR with 3 VCs should be invalid")
+	}
+	if _, err := New(DR, protocol.PAT271, 4, -1); err != nil {
+		t.Error("DR with 4 VCs should be valid")
+	}
+}
+
+func TestDRPartitionsByClass(t *testing.T) {
+	s := mustScheme(t, DR, protocol.PAT271, 8)
+	if len(s.Partitions()) != 2 {
+		t.Fatalf("DR partitions = %d", len(s.Partitions()))
+	}
+	// S-1 style: m1,m2 share the request partition; m3,m4 the reply one.
+	reqSet := s.VCSetFor(message.M1, false)
+	if got := s.VCSetFor(message.M2, false); !sameSet(got.All(), reqSet.All()) {
+		t.Fatal("m1 and m2 should share the request partition")
+	}
+	repSet := s.VCSetFor(message.M4, false)
+	if got := s.VCSetFor(message.M3, false); !sameSet(got.All(), repSet.All()) {
+		t.Fatal("m3 and m4 should share the reply partition")
+	}
+	if sameSet(reqSet.All(), repSet.All()) {
+		t.Fatal("request and reply partitions must differ")
+	}
+	// Backoff replies travel the reply partition.
+	if got := s.VCSetFor(message.M1, true); !sameSet(got.All(), repSet.All()) {
+		t.Fatal("backoff replies must use the reply partition")
+	}
+}
+
+func TestDROriginMapping(t *testing.T) {
+	s := mustScheme(t, DR, protocol.PAT280, 8)
+	// Origin: m3 (FRQ) is request class.
+	reqSet := s.VCSetFor(message.M1, false)
+	if got := s.VCSetFor(message.M3, false); !sameSet(got.All(), reqSet.All()) {
+		t.Fatal("Origin m3 should share the request partition")
+	}
+}
+
+func TestPRSharesEverything(t *testing.T) {
+	s := mustScheme(t, PR, protocol.PAT271, 4)
+	set := s.VCSetFor(message.M1, false)
+	if len(set.Adaptive) != 4 || len(set.Escape) != 0 {
+		t.Fatalf("PR set = %+v", set)
+	}
+	for typ := message.Type(0); typ < message.NumTypes; typ++ {
+		if !sameSet(s.VCSetFor(typ, false).All(), set.All()) {
+			t.Fatalf("type %v does not share all VCs", typ)
+		}
+	}
+	if s.NumQueues() != 1 {
+		t.Fatalf("PR queues = %d, want 1 (shared)", s.NumQueues())
+	}
+}
+
+func TestRoutingModes(t *testing.T) {
+	// PR is always TFAR.
+	if mustScheme(t, PR, protocol.PAT100, 1).RoutingMode(message.M1, false) != 2 {
+		t.Fatal("PR should route TFAR")
+	}
+	// SA with exactly 2 VCs per type: DOR.
+	s := mustScheme(t, SA, protocol.PAT721, 8)
+	if s.RoutingMode(message.M1, false).String() != "dor" {
+		t.Fatal("SA 8VC/4types should be DOR")
+	}
+	// SA with 4 per type: Duato.
+	s = mustScheme(t, SA, protocol.PAT721, 16)
+	if s.RoutingMode(message.M1, false).String() != "duato" {
+		t.Fatal("SA 16VC/4types should be Duato")
+	}
+	// DR with 4 per class: Duato.
+	s = mustScheme(t, DR, protocol.PAT271, 8)
+	if s.RoutingMode(message.M1, false).String() != "duato" {
+		t.Fatal("DR 8VC should be Duato")
+	}
+	s = mustScheme(t, DR, protocol.PAT271, 4)
+	if s.RoutingMode(message.M1, false).String() != "dor" {
+		t.Fatal("DR 4VC should be DOR")
+	}
+}
+
+func TestAvailabilityFormula(t *testing.T) {
+	// Paper Section 2.1 / 4.3.2: SA with 8 VCs and chain length 2 gives 3
+	// available channels; 16 VCs over 4 types gives 3; DR with 16 gives 7.
+	if got := mustScheme(t, SA, protocol.PAT100, 8).Availability(); got != 3 {
+		t.Errorf("SA/PAT100/8: availability %d, want 3", got)
+	}
+	if got := mustScheme(t, SA, protocol.PAT721, 16).Availability(); got != 3 {
+		t.Errorf("SA/PAT721/16: availability %d, want 3", got)
+	}
+	if got := mustScheme(t, DR, protocol.PAT721, 16).Availability(); got != 7 {
+		t.Errorf("DR/PAT721/16: availability %d, want 7", got)
+	}
+	if got := mustScheme(t, PR, protocol.PAT721, 16).Availability(); got != 16 {
+		t.Errorf("PR/16: availability %d, want 16", got)
+	}
+}
+
+func TestQueueIndexing(t *testing.T) {
+	// Shared: everything on queue 0.
+	pr := mustScheme(t, PR, protocol.PAT271, 4)
+	for typ := message.Type(0); typ < message.NumTypes; typ++ {
+		if pr.QueueIndex(typ, false) != 0 {
+			t.Fatal("PR shared queue index must be 0")
+		}
+	}
+	// Per-class: requests on 0, replies on 1 (S-1 style).
+	dr := mustScheme(t, DR, protocol.PAT271, 4)
+	if dr.QueueIndex(message.M1, false) != 0 || dr.QueueIndex(message.M2, false) != 0 {
+		t.Fatal("DR request types must use queue 0")
+	}
+	if dr.QueueIndex(message.M3, false) != 1 || dr.QueueIndex(message.M4, false) != 1 {
+		t.Fatal("DR reply types must use queue 1")
+	}
+	if dr.QueueIndex(message.M1, true) != 1 {
+		t.Fatal("backoff replies must use the reply queue")
+	}
+	// Per-type with a 3-type pattern: compact indices.
+	sa := mustScheme(t, SA, protocol.PAT280, 6)
+	if sa.NumQueues() != 3 {
+		t.Fatalf("PAT280 SA queues = %d", sa.NumQueues())
+	}
+	if sa.QueueIndex(message.M1, false) != 0 || sa.QueueIndex(message.M3, false) != 1 || sa.QueueIndex(message.M4, false) != 2 {
+		t.Fatal("compact per-type indices wrong")
+	}
+}
+
+func TestDeflectable(t *testing.T) {
+	dr := mustScheme(t, DR, protocol.PAT271, 4)
+	e, err := protocol.NewEngine(protocol.PAT271, protocol.DefaultLengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := e.NewTransaction(protocol.Chain4S1, 0, 1, []int{2}, 0)
+	m1 := e.FirstMessage(txn, 0)
+	if !dr.Deflectable(e, txn, m1) {
+		t.Fatal("m1 generating request-class m2 must be deflectable")
+	}
+	m2 := e.Subordinates(txn, m1, 0)[0]
+	if dr.Deflectable(e, txn, m2) {
+		t.Fatal("m2 generating reply-class m3 must not be deflectable")
+	}
+	// PR never deflects.
+	pr := mustScheme(t, PR, protocol.PAT271, 4)
+	if pr.Deflectable(e, txn, m1) {
+		t.Fatal("PR must not deflect")
+	}
+}
+
+func TestQueueModeOverrides(t *testing.T) {
+	// Figure 11 QA: PR with per-type queues.
+	s, err := New(PR, protocol.PAT271, 16, netiface.QueuePerType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumQueues() != 4 {
+		t.Fatalf("PR QA queues = %d", s.NumQueues())
+	}
+	// SA cannot drop per-type queues.
+	if _, err := New(SA, protocol.PAT271, 16, netiface.QueueShared); err == nil {
+		t.Fatal("SA with shared queues should be invalid")
+	}
+	// DR cannot share queues across classes.
+	if _, err := New(DR, protocol.PAT271, 8, netiface.QueueShared); err == nil {
+		t.Fatal("DR with shared queues should be invalid")
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Kind
+	}{{"SA", SA}, {"dr", DR}, {"PR", PR}} {
+		got, err := KindByName(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("KindByName(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := KindByName("XX"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[int]bool{}
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSQScheme(t *testing.T) {
+	s := mustScheme(t, SQ, protocol.PAT271, 4)
+	if s.NumQueues() != 1 {
+		t.Fatalf("SQ queues = %d, want 1 (shared)", s.NumQueues())
+	}
+	set := s.VCSetFor(message.M1, false)
+	if len(set.Escape) != 2 || len(set.Adaptive) != 2 {
+		t.Fatalf("SQ VC set = %+v", set)
+	}
+	if s.RoutingMode(message.M1, false).String() != "duato" {
+		t.Fatal("SQ with 4 VCs should route Duato")
+	}
+	if s.Availability() != 3 {
+		t.Fatalf("SQ availability = %d, want 3", s.Availability())
+	}
+	// SQ with only the escape pair is DOR.
+	s2 := mustScheme(t, SQ, protocol.PAT271, 2)
+	if s2.RoutingMode(message.M1, false).String() != "dor" {
+		t.Fatal("SQ with 2 VCs should route DOR")
+	}
+	if _, err := New(SQ, protocol.PAT271, 1, -1); err == nil {
+		t.Fatal("SQ with 1 VC accepted")
+	}
+	if k, err := KindByName("SQ"); err != nil || k != SQ {
+		t.Fatal("KindByName SQ failed")
+	}
+}

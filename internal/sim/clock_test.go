@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+func TestClockPhases(t *testing.T) {
+	c := NewClock(10, 20, 5)
+	for i := int64(0); i < 10; i++ {
+		if c.Phase() != PhaseWarmup {
+			t.Fatalf("cycle %d: phase = %v, want warmup", i, c.Phase())
+		}
+		c.Tick()
+	}
+	for i := int64(10); i < 30; i++ {
+		if c.Phase() != PhaseMeasure {
+			t.Fatalf("cycle %d: phase = %v, want measure", i, c.Phase())
+		}
+		c.Tick()
+	}
+	if c.Phase() != PhaseDrain {
+		t.Fatalf("phase = %v, want drain", c.Phase())
+	}
+	if c.Done() {
+		t.Fatal("done too early")
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if !c.Done() {
+		t.Fatal("not done after max drain")
+	}
+}
+
+func TestClockMeasureWindow(t *testing.T) {
+	c := NewClock(100, 300, 50)
+	start, end := c.MeasureWindow()
+	if start != 100 || end != 400 {
+		t.Fatalf("window = [%d,%d), want [100,400)", start, end)
+	}
+	if c.MeasureCycles() != 300 {
+		t.Fatalf("measure cycles = %d", c.MeasureCycles())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseWarmup.String() != "warmup" || PhaseMeasure.String() != "measure" || PhaseDrain.String() != "drain" {
+		t.Fatal("phase strings wrong")
+	}
+	if Phase(99).String() != "unknown" {
+		t.Fatal("unknown phase string wrong")
+	}
+}
+
+func TestClockNowAdvances(t *testing.T) {
+	c := NewClock(0, 1, 0)
+	if c.Now() != 0 {
+		t.Fatal("clock does not start at 0")
+	}
+	c.Tick()
+	c.Tick()
+	if c.Now() != 2 {
+		t.Fatalf("Now = %d after two ticks", c.Now())
+	}
+}

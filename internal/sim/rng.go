@@ -1,0 +1,139 @@
+// Package sim provides the deterministic cycle-level simulation kernel used
+// by every other package in this repository: a seeded pseudo-random number
+// generator, a cycle clock, and run-phase bookkeeping (warmup, measurement,
+// drain).
+//
+// All simulations in this repository are single-threaded and cycle-driven,
+// mirroring the structure of FlexSim 1.2, the flit-level simulator used in
+// the paper. Determinism is a hard requirement: two runs with the same seed
+// and configuration must produce bit-identical statistics, so every source
+// of randomness flows through RNG.
+package sim
+
+import "math/bits"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256**). It is deliberately not backed by math/rand so that the
+// stream is stable across Go releases; reproduction experiments encode seeds
+// in EXPERIMENTS.md and must replay exactly.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed using splitmix64, which
+// guarantees a well-mixed non-zero internal state for any seed value.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 bits of the stream.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded output.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := r.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Pick selects an index from a discrete distribution given by weights.
+// Weights need not be normalized; all must be non-negative with a positive
+// sum. It panics on an empty or all-zero weight vector.
+func (r *RNG) Pick(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("sim: Pick with zero total weight")
+	}
+	x := r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// IntnExcept returns a uniform integer in [0, n) that is not equal to except.
+// It panics if n < 2.
+func (r *RNG) IntnExcept(n, except int) int {
+	if n < 2 {
+		panic("sim: IntnExcept needs n >= 2")
+	}
+	v := r.Intn(n - 1)
+	if v >= except {
+		v++
+	}
+	return v
+}
+
+// Shuffle permutes the first n indices using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent generator from this one, for components that
+// need their own stream (e.g. per-node traffic sources) without perturbing
+// the parent's sequence when the component count changes.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,287 @@
+// Package stats collects and reports the quantities the paper plots:
+// delivered throughput in flits/node/cycle, average message latency in
+// cycles (queue waiting plus network time), transaction statistics,
+// per-message-type counts, deflection/rescue counts, and the normalized
+// number of deadlocks (deadlocks per delivered message). It also provides
+// the Burton-Normal-Form series used by Figures 8-11 and simple text/CSV
+// table rendering for the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/message"
+)
+
+// Collector accumulates a run's measurement-window statistics. The network
+// gates calls by simulation phase: only events inside the measurement window
+// are reported, matching the paper's steady-state methodology.
+type Collector struct {
+	Nodes  int
+	Cycles int64
+
+	InjectedFlits  int64
+	InjectedMsgs   int64
+	DeliveredFlits int64
+	DeliveredMsgs  int64
+
+	LatencySum   int64
+	LatencyMax   int64
+	LatencyCount int64
+
+	QueueLatencySum int64
+
+	TxnCompleted  int64
+	TxnLatencySum int64
+
+	GeneratedTxns int64
+
+	PerTypeDelivered [message.NumTypes]int64
+	BackoffDelivered int64
+	RescuedDelivered int64
+
+	DetectEvents  int64
+	Deflections   int64
+	Rescues       int64
+	TokenCaptures int64
+	CWGDeadlocks  int64
+	CWGScans      int64
+}
+
+// NewCollector creates a collector for a network of the given endpoint
+// count.
+func NewCollector(nodes int) *Collector {
+	return &Collector{Nodes: nodes}
+}
+
+// OnInjected records a message entering the network.
+func (c *Collector) OnInjected(m *message.Message) {
+	c.InjectedFlits += int64(m.Flits)
+	c.InjectedMsgs++
+}
+
+// OnDelivered records a fully arrived message. inWindow gates throughput
+// accounting (delivery happened inside the measurement window);
+// latencyEligible gates latency sampling (the message was created inside the
+// window, so its latency is attributable to steady state even if delivery
+// slipped into the drain phase).
+func (c *Collector) OnDelivered(m *message.Message, inWindow, latencyEligible bool) {
+	if inWindow {
+		c.DeliveredFlits += int64(m.Flits)
+		c.DeliveredMsgs++
+		if m.Backoff {
+			c.BackoffDelivered++
+		} else {
+			c.PerTypeDelivered[m.Type]++
+		}
+		if m.Rescued {
+			c.RescuedDelivered++
+		}
+	}
+	if latencyEligible {
+		if lat := m.TotalLatency(); lat >= 0 {
+			c.LatencySum += lat
+			c.LatencyCount++
+			if lat > c.LatencyMax {
+				c.LatencyMax = lat
+			}
+		}
+		if ql := m.QueueLatency(); ql >= 0 {
+			c.QueueLatencySum += ql
+		}
+	}
+}
+
+// OnTxnComplete records a finished transaction's latency.
+func (c *Collector) OnTxnComplete(created, finished int64) {
+	c.TxnCompleted++
+	c.TxnLatencySum += finished - created
+}
+
+// Throughput returns delivered traffic normalized to flits/node/cycle.
+func (c *Collector) Throughput() float64 {
+	if c.Cycles == 0 || c.Nodes == 0 {
+		return 0
+	}
+	return float64(c.DeliveredFlits) / float64(c.Nodes) / float64(c.Cycles)
+}
+
+// AvgLatency returns the mean message latency in cycles.
+func (c *Collector) AvgLatency() float64 {
+	if c.LatencyCount == 0 {
+		return 0
+	}
+	return float64(c.LatencySum) / float64(c.LatencyCount)
+}
+
+// AvgQueueLatency returns mean source-queue waiting time.
+func (c *Collector) AvgQueueLatency() float64 {
+	if c.LatencyCount == 0 {
+		return 0
+	}
+	return float64(c.QueueLatencySum) / float64(c.LatencyCount)
+}
+
+// AvgTxnLatency returns the mean transaction completion time.
+func (c *Collector) AvgTxnLatency() float64 {
+	if c.TxnCompleted == 0 {
+		return 0
+	}
+	return float64(c.TxnLatencySum) / float64(c.TxnCompleted)
+}
+
+// NormalizedDeadlocks returns the paper's deadlock-frequency metric: the
+// ratio of detected deadlocks to delivered messages.
+func (c *Collector) NormalizedDeadlocks() float64 {
+	if c.DeliveredMsgs == 0 {
+		return 0
+	}
+	return float64(c.CWGDeadlocks+c.Deflections+c.Rescues) / float64(c.DeliveredMsgs)
+}
+
+// Point is one Burton-Normal-Form sample: the applied load (request
+// generation probability per node per cycle) and the measured throughput
+// (x) and latency (y), plus the recovery activity behind it.
+type Point struct {
+	Applied     float64
+	Throughput  float64
+	Latency     float64
+	TxnLatency  float64
+	Deflections int64
+	Rescues     int64
+	Deadlocks   int64
+	Delivered   int64
+}
+
+// Series is one curve of a BNF plot (one scheme configuration).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// SaturationThroughput returns the maximum throughput observed along the
+// series — the standard scalar summary of a BNF curve.
+func (s Series) SaturationThroughput() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > max {
+			max = p.Throughput
+		}
+	}
+	return max
+}
+
+// LatencyAt interpolates the series' latency at a given throughput, or
+// returns ok=false if the throughput exceeds the series' reach.
+func (s Series) LatencyAt(throughput float64) (float64, bool) {
+	pts := append([]Point(nil), s.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Throughput < pts[j].Throughput })
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput >= throughput {
+			lo, hi := pts[i-1], pts[i]
+			if hi.Throughput == lo.Throughput {
+				return hi.Latency, true
+			}
+			f := (throughput - lo.Throughput) / (hi.Throughput - lo.Throughput)
+			return lo.Latency + f*(hi.Latency-lo.Latency), true
+		}
+	}
+	return 0, false
+}
+
+// FormatBNF renders a set of series as an aligned text table, one row per
+// applied-load point, matching the figures' axes (throughput in
+// flits/node/cycle, latency in cycles).
+func FormatBNF(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s (saturation %.4f flits/node/cycle)\n", s.Name, s.SaturationThroughput())
+		fmt.Fprintf(&b, "    %10s %12s %12s %10s %9s %9s\n", "applied", "throughput", "latency", "txn-lat", "deflect", "rescue")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "    %10.5f %12.5f %12.1f %10.1f %9d %9d\n",
+				p.Applied, p.Throughput, p.Latency, p.TxnLatency, p.Deflections, p.Rescues)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the series in long form for external plotting.
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("series,applied,throughput,latency,txn_latency,deflections,rescues,deadlocks,delivered\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%d,%d,%d,%d\n",
+				s.Name, p.Applied, p.Throughput, p.Latency, p.TxnLatency, p.Deflections, p.Rescues, p.Deadlocks, p.Delivered)
+		}
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket histogram used for the load-rate distributions
+// of Figure 6 (bucket width in the figure: 5% of capacity).
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int64
+	Total       int64
+}
+
+// NewHistogram creates a histogram with the given bucket width covering
+// [0, width*buckets).
+func NewHistogram(width float64, buckets int) *Histogram {
+	return &Histogram{BucketWidth: width, Counts: make([]int64, buckets)}
+}
+
+// Add records a sample; values beyond the last bucket clamp into it.
+func (h *Histogram) Add(v float64) {
+	idx := int(v / h.BucketWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// CumulativeBelow returns the share of samples below value v.
+func (h *Histogram) CumulativeBelow(v float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var sum int64
+	const eps = 1e-9
+	for i := range h.Counts {
+		hi := float64(i+1) * h.BucketWidth
+		if hi <= v+eps {
+			sum += h.Counts[i]
+		}
+	}
+	return float64(sum) / float64(h.Total)
+}
+
+// Format renders the histogram as percentage rows.
+func (h *Histogram) Format(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", label, h.Total)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  [%5.1f%%,%5.1f%%): %6.2f%%\n",
+			100*float64(i)*h.BucketWidth, 100*float64(i+1)*h.BucketWidth, 100*h.Fraction(i))
+	}
+	return b.String()
+}

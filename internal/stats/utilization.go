@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Utilization accumulates physical-channel and virtual-channel occupancy
+// statistics, quantifying Section 2.1's core argument: partitioning virtual
+// channels among message types "limits overall potential channel utilization
+// to well below 100%", while full sharing maximizes it.
+type Utilization struct {
+	// Cycles is the number of sampled cycles.
+	Cycles int64
+	// LinkBusy[i] counts cycles in which link channel i moved a flit
+	// (approximated by occupancy: a flit was buffered on the channel).
+	linkBusy []int64
+	// VCBusy[i][v] counts cycles VC v of link i held at least one flit.
+	vcBusy [][]int64
+}
+
+// NewUtilization sizes a collector for links channels of vcs virtual
+// channels each.
+func NewUtilization(links, vcs int) *Utilization {
+	u := &Utilization{linkBusy: make([]int64, links), vcBusy: make([][]int64, links)}
+	for i := range u.vcBusy {
+		u.vcBusy[i] = make([]int64, vcs)
+	}
+	return u
+}
+
+// Sample records one cycle's occupancy for link i: occupied lists which VCs
+// currently hold flits.
+func (u *Utilization) Sample(i int, occupied []bool) {
+	any := false
+	for v, occ := range occupied {
+		if occ {
+			u.vcBusy[i][v]++
+			any = true
+		}
+	}
+	if any {
+		u.linkBusy[i]++
+	}
+}
+
+// Tick advances the sampled-cycle count (call once per sampled cycle).
+func (u *Utilization) Tick() { u.Cycles++ }
+
+// LinkUtilization returns the mean fraction of sampled cycles in which each
+// link carried traffic.
+func (u *Utilization) LinkUtilization() float64 {
+	if u.Cycles == 0 || len(u.linkBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range u.linkBusy {
+		sum += float64(b)
+	}
+	return sum / float64(u.Cycles) / float64(len(u.linkBusy))
+}
+
+// VCUtilization returns the mean fraction of (VC, cycle) slots occupied.
+func (u *Utilization) VCUtilization() float64 {
+	if u.Cycles == 0 || len(u.vcBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, vcs := range u.vcBusy {
+		for _, b := range vcs {
+			sum += float64(b)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(u.Cycles) / float64(n)
+}
+
+// VCImbalance measures how unevenly traffic spreads over virtual channels:
+// the ratio of the most-used VC slot's utilization to the mean (1.0 =
+// perfectly even). Partitioned schemes concentrate each type's traffic on
+// its own few channels, producing high imbalance when the type mix is
+// skewed.
+func (u *Utilization) VCImbalance() float64 {
+	if u.Cycles == 0 || len(u.vcBusy) == 0 {
+		return 0
+	}
+	vcs := len(u.vcBusy[0])
+	perVC := make([]float64, vcs)
+	for _, link := range u.vcBusy {
+		for v, b := range link {
+			perVC[v] += float64(b)
+		}
+	}
+	var mean, max float64
+	for _, s := range perVC {
+		mean += s
+		if s > max {
+			max = s
+		}
+	}
+	mean /= float64(vcs)
+	if mean == 0 {
+		return 0
+	}
+	return max / mean
+}
+
+// PerVCShares returns each VC index's share of total VC-busy cycles, for
+// visualizing how a scheme spreads load over the channel set.
+func (u *Utilization) PerVCShares() []float64 {
+	if len(u.vcBusy) == 0 {
+		return nil
+	}
+	vcs := len(u.vcBusy[0])
+	out := make([]float64, vcs)
+	var total float64
+	for _, link := range u.vcBusy {
+		for v, b := range link {
+			out[v] += float64(b)
+			total += float64(b)
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	for v := range out {
+		out[v] /= total
+	}
+	return out
+}
+
+// Format renders a short utilization report.
+func (u *Utilization) Format(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s link-util %5.1f%%  vc-util %5.1f%%  vc-imbalance %.2f\n",
+		label, 100*u.LinkUtilization(), 100*u.VCUtilization(), u.VCImbalance())
+	shares := u.PerVCShares()
+	idx := make([]int, len(shares))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool { return shares[idx[a]] > shares[idx[c]] })
+	fmt.Fprintf(&b, "  busiest VCs:")
+	for k := 0; k < len(idx) && k < 4; k++ {
+		fmt.Fprintf(&b, " vc%d=%.1f%%", idx[k], 100*shares[idx[k]])
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package token implements the circulating-token mechanism of Disha
+// Sequential as extended by the paper: a single token tours every router
+// (and, by extension, the network interfaces attached to each router) on a
+// configurable logical ring; a node holding a potentially deadlocked message
+// captures it, gaining exclusive use of the deadlock-buffer recovery lane;
+// during a rescue the token travels with the rescued message and may be
+// reused for subordinate messages; the capturing node finally releases it
+// for re-circulation.
+//
+// The package models token position and possession; the rescue state machine
+// that exercises it lives in the network layer, which owns the routers and
+// network interfaces.
+package token
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Manager tracks the token.
+type Manager struct {
+	t *topology.Torus
+	// pos is the router the token is at (when circulating) or was captured
+	// at (when held).
+	pos topology.NodeID
+	// held marks the token as captured by a rescue in progress.
+	held bool
+	// hopCycles is the time to advance one ring position; the paper
+	// multiplexes the token over network bandwidth as a control packet, so
+	// one cycle per hop is the natural model.
+	hopCycles int
+	ctr       int
+
+	// lost marks the token as dropped by a fault; a lost token neither
+	// circulates nor captures until Regenerate is called.
+	lost bool
+
+	// Captures and Releases count token lifecycle events for statistics;
+	// Losses and Regenerations count injected faults and recoveries.
+	Captures      int64
+	Releases      int64
+	Losses        int64
+	Regenerations int64
+}
+
+// NewManager creates a token circulating from router 0.
+func NewManager(t *topology.Torus, hopCycles int) *Manager {
+	if hopCycles < 1 {
+		panic("token: hopCycles must be >= 1")
+	}
+	return &Manager{t: t, hopCycles: hopCycles}
+}
+
+// Held reports whether the token is captured.
+func (m *Manager) Held() bool { return m.held }
+
+// Pos returns the router the token currently occupies.
+func (m *Manager) Pos() topology.NodeID { return m.pos }
+
+// Step advances a circulating token. It returns the router the token sits at
+// after this cycle and whether it arrived there this cycle (captures are
+// only attempted on arrival, or on the first cycle at the start position).
+// Step panics if called while the token is held: a held token moves with the
+// rescue, not the ring.
+func (m *Manager) Step() (at topology.NodeID, arrived bool) {
+	if m.held {
+		panic("token: Step while held")
+	}
+	if m.lost {
+		return m.pos, false
+	}
+	m.ctr++
+	if m.ctr >= m.hopCycles {
+		m.ctr = 0
+		m.pos = m.t.RingNext(m.pos)
+		return m.pos, true
+	}
+	return m.pos, false
+}
+
+// Capture seizes the token at its current ring position for a rescue.
+func (m *Manager) Capture() {
+	if m.held {
+		panic("token: double capture")
+	}
+	if m.lost {
+		panic("token: capture of a lost token")
+	}
+	m.held = true
+	m.Captures++
+}
+
+// Release returns the token to circulation from the router where the rescue
+// concluded (the paper re-circulates it from the capturing node; pos lets
+// the caller restore it there).
+func (m *Manager) Release(pos topology.NodeID) {
+	if !m.held {
+		panic("token: release without capture")
+	}
+	m.held = false
+	m.pos = pos
+	m.ctr = 0
+	m.Releases++
+}
+
+// Lose injects a token-loss fault (the single-point-of-failure the paper's
+// Section 3 flags as the technique's main reliability concern). Only a
+// circulating token can be lost in this model — a held token's loss would
+// abandon a rescue mid-flight, which the paper's reliable token-management
+// assumption (control packets with end-to-end protection during rescues)
+// rules out.
+func (m *Manager) Lose() {
+	if m.held {
+		panic("token: cannot lose a held token")
+	}
+	if m.lost {
+		return
+	}
+	m.lost = true
+	m.Losses++
+}
+
+// Lost reports whether the token is currently missing.
+func (m *Manager) Lost() bool { return m.lost }
+
+// Regenerate recreates a lost token at the given router, as the paper's
+// configurable logical token path permits ("the path taken by the token can
+// be logical and, thus, configurable ... to increase reliability").
+func (m *Manager) Regenerate(pos topology.NodeID) {
+	if !m.lost {
+		panic("token: regenerate without loss")
+	}
+	m.lost = false
+	m.pos = pos
+	m.ctr = 0
+	m.Regenerations++
+}
+
+func (m *Manager) String() string {
+	state := "circulating"
+	if m.held {
+		state = "held"
+	}
+	return fmt.Sprintf("token{%s at %d}", state, m.pos)
+}

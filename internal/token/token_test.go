@@ -1,0 +1,119 @@
+package token
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestTokenTour(t *testing.T) {
+	tor := topology.MustTorus([]int{4, 4}, 1)
+	m := NewManager(tor, 1)
+	seen := map[topology.NodeID]bool{m.Pos(): true}
+	for i := 0; i < tor.Routers(); i++ {
+		at, arrived := m.Step()
+		if !arrived {
+			t.Fatal("hopCycles=1 must arrive every cycle")
+		}
+		seen[at] = true
+	}
+	if len(seen) != tor.Routers() {
+		t.Fatalf("token visited %d routers, want %d", len(seen), tor.Routers())
+	}
+}
+
+func TestTokenHopCycles(t *testing.T) {
+	tor := topology.MustTorus([]int{4, 4}, 1)
+	m := NewManager(tor, 3)
+	arrivals := 0
+	for i := 0; i < 9; i++ {
+		if _, arrived := m.Step(); arrived {
+			arrivals++
+		}
+	}
+	if arrivals != 3 {
+		t.Fatalf("9 cycles at 3 cycles/hop gave %d arrivals, want 3", arrivals)
+	}
+}
+
+func TestCaptureReleaseCycle(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Step()
+	if m.Held() {
+		t.Fatal("fresh token held")
+	}
+	m.Capture()
+	if !m.Held() {
+		t.Fatal("capture did not hold")
+	}
+	m.Release(3)
+	if m.Held() || m.Pos() != 3 {
+		t.Fatalf("release failed: held=%v pos=%d", m.Held(), m.Pos())
+	}
+	if m.Captures != 1 || m.Releases != 1 {
+		t.Fatalf("counters: %d captures, %d releases", m.Captures, m.Releases)
+	}
+	// Resumes circulation from the release point.
+	at, _ := m.Step()
+	if at != tor.RingNext(3) {
+		t.Fatalf("resumed at %d, want %d", at, tor.RingNext(3))
+	}
+}
+
+func TestStepWhileHeldPanics(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Capture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step while held did not panic")
+		}
+	}()
+	m.Step()
+}
+
+func TestDoubleCapturePanics(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Capture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double capture did not panic")
+		}
+	}()
+	m.Capture()
+}
+
+func TestReleaseWithoutCapturePanics(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release without capture did not panic")
+		}
+	}()
+	m.Release(0)
+}
+
+func TestBadHopCyclesPanics(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hopCycles=0 did not panic")
+		}
+	}()
+	NewManager(tor, 0)
+}
+
+func TestStringer(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+	m.Capture()
+	if m.String() == "" {
+		t.Fatal("empty string when held")
+	}
+}

@@ -1,0 +1,112 @@
+package tracegen_test
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+	"repro/internal/tracegen"
+	"repro/internal/traffic"
+)
+
+// playTrace runs an application trace through a 4x4 PR network and returns
+// the network and player.
+func playTrace(t *testing.T, app tracegen.App, cycles int64, bristling int, radix []int) (*network.Network, *tracegen.Player) {
+	t.Helper()
+	cfg := network.DefaultConfig()
+	cfg.Radix = radix
+	cfg.Bristling = bristling
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.MSI
+	cfg.Warmup = 0
+	cfg.Measure = cycles
+	cfg.MaxDrain = 20000
+	var player *tracegen.Player
+	n, err := network.NewWithSource(cfg, func(e *protocol.Engine, tab *protocol.Table, rng *sim.RNG, endpoints int) traffic.Source {
+		g := tracegen.NewGenerator(app, endpoints, 5)
+		tr := g.Generate(cycles)
+		p, perr := tracegen.NewPlayer(tr, e, tab, rng, endpoints)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		player = p
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	return n, player
+}
+
+func TestPlayerDrivesNetworkToCompletion(t *testing.T) {
+	n, p := playTrace(t, tracegen.FFT, 20000, 1, []int{4, 4})
+	if p.Transactions == 0 {
+		t.Fatal("no transactions generated")
+	}
+	if n.Stats.TxnCompleted == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if p.Active(n.Clock.Now()) {
+		t.Fatal("player still active after drain")
+	}
+	if !n.Quiescent() {
+		t.Fatalf("network not quiescent, %d txns", n.Table.Len())
+	}
+}
+
+func TestPlayerHitsBypassNetwork(t *testing.T) {
+	_, p := playTrace(t, tracegen.LU, 15000, 1, []int{4, 4})
+	if p.Hits == 0 {
+		t.Fatal("trace produced no cache hits (hot lines broken)")
+	}
+	// Transactions + local directs must equal misses.
+	if p.Transactions+p.LocalDirect != p.Sys.Misses() {
+		t.Fatalf("txns %d + local %d != misses %d", p.Transactions, p.LocalDirect, p.Sys.Misses())
+	}
+}
+
+func TestPlayerNoDeadlocksAtApplicationLoads(t *testing.T) {
+	// Section 4.2.2: application traces never deadlock, even bristled.
+	for _, sh := range []struct {
+		radix     []int
+		bristling int
+	}{{[]int{4, 4}, 1}, {[]int{2, 4}, 2}, {[]int{2, 2}, 4}} {
+		n, _ := playTrace(t, tracegen.Radix, 15000, sh.bristling, sh.radix)
+		if n.Stats.CWGDeadlocks != 0 {
+			t.Errorf("radix %v b=%d: %d deadlocks at application load",
+				sh.radix, sh.bristling, n.Stats.CWGDeadlocks)
+		}
+	}
+}
+
+func TestPlayerMSHRStall(t *testing.T) {
+	// With a single MSHR, the player must still make progress, just more
+	// slowly (stalls bound outstanding to 1).
+	cfg := network.DefaultConfig()
+	cfg.Radix = []int{4, 4}
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.MSI
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 0, 15000, 20000
+	var player *tracegen.Player
+	n, err := network.NewWithSource(cfg, func(e *protocol.Engine, tab *protocol.Table, rng *sim.RNG, endpoints int) traffic.Source {
+		g := tracegen.NewGenerator(tracegen.Water, endpoints, 7)
+		tr := g.Generate(10000)
+		p, perr := tracegen.NewPlayer(tr, e, tab, rng, endpoints)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		p.MaxOutstanding = 1
+		player = p
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	if player.Transactions == 0 || !n.Quiescent() {
+		t.Fatalf("stalled player broke: txns=%d quiescent=%v", player.Transactions, n.Quiescent())
+	}
+}

@@ -1,0 +1,118 @@
+// Package traffic generates workloads for the simulator. Synthetic sources
+// implement the paper's open-loop methodology: each node generates original
+// request messages (m1, the first type of every dependency chain) by a
+// Bernoulli process at the applied rate, with uniformly random homes and
+// third parties ("Message Traffic Patterns: Random", Table 2); all
+// subordinate message types are then "generated automatically upon
+// completion of servicing messages at end-nodes" by the protocol engine.
+package traffic
+
+import (
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Source produces new transactions for endpoints each cycle.
+type Source interface {
+	// Generate is called once per endpoint per cycle; implementations
+	// enqueue any new requests on the endpoint's NI.
+	Generate(now int64, endpoint int, ni *netiface.NI)
+	// TxnCompleted notifies the source that one of the requester's
+	// transactions finished, releasing its preallocated MSHR.
+	TxnCompleted(requester int)
+	// Active reports whether the source may still produce work (lets
+	// finite sources such as traces terminate runs early).
+	Active(now int64) bool
+}
+
+// Synthetic is the uniform-random Bernoulli source.
+type Synthetic struct {
+	// Rate is the request-generation probability per node per cycle.
+	Rate float64
+	// Endpoints is the number of processing nodes.
+	Endpoints int
+	// MaxOutstanding bounds in-flight transactions per requester: a node
+	// must hold a free MSHR (preallocated sink resources for the
+	// terminating reply) before issuing a request, the Section 3
+	// assumption that also underpins the Origin2000's reply-network
+	// preallocation ("M outstanding messages allowed by each node").
+	// Zero means unlimited.
+	MaxOutstanding int
+	// Engine and Table create and register transactions.
+	Engine *protocol.Engine
+	Table  *protocol.Table
+	// Generated counts created transactions; Throttled counts generation
+	// opportunities suppressed by the outstanding limit.
+	Generated int64
+	Throttled int64
+
+	outstanding []int
+	rngs        []*sim.RNG
+}
+
+// NewSynthetic builds a synthetic source with one RNG stream per endpoint so
+// endpoint behaviour is independent of stepping order.
+func NewSynthetic(rate float64, endpoints int, engine *protocol.Engine, table *protocol.Table, rng *sim.RNG) *Synthetic {
+	s := &Synthetic{Rate: rate, Endpoints: endpoints, Engine: engine, Table: table}
+	s.rngs = make([]*sim.RNG, endpoints)
+	for i := range s.rngs {
+		s.rngs[i] = rng.Split()
+	}
+	s.outstanding = make([]int, endpoints)
+	return s
+}
+
+// Generate implements Source.
+func (s *Synthetic) Generate(now int64, endpoint int, ni *netiface.NI) {
+	rng := s.rngs[endpoint]
+	if !rng.Bernoulli(s.Rate) {
+		return
+	}
+	if s.MaxOutstanding > 0 && s.outstanding[endpoint] >= s.MaxOutstanding {
+		s.Throttled++
+		return
+	}
+	txn := s.NewTransaction(endpoint, rng, now)
+	ni.EnqueueSource(s.Engine.FirstMessage(txn, now))
+	s.outstanding[endpoint]++
+	s.Generated++
+}
+
+// TxnCompleted implements Source.
+func (s *Synthetic) TxnCompleted(requester int) {
+	if s.outstanding[requester] > 0 {
+		s.outstanding[requester]--
+	}
+}
+
+// Outstanding returns the requester's current in-flight transaction count.
+func (s *Synthetic) Outstanding(requester int) int { return s.outstanding[requester] }
+
+// NewTransaction rolls a transaction for a requester: template by pattern
+// weight, home uniformly among other endpoints, third parties uniformly
+// among endpoints distinct from the home (an owner or sharer may coincide
+// with neither or may be any other node; it only must differ from the home,
+// which would otherwise answer directly).
+func (s *Synthetic) NewTransaction(requester int, rng *sim.RNG, now int64) *protocol.Transaction {
+	tmpl := s.Engine.PickTemplate(rng.Float64())
+	home := requester
+	if s.Endpoints > 1 {
+		home = rng.IntnExcept(s.Endpoints, requester)
+	}
+	_, width := tmpl.FanoutIndex()
+	thirds := make([]int, width)
+	for b := range thirds {
+		t := home
+		if s.Endpoints > 1 {
+			t = rng.IntnExcept(s.Endpoints, home)
+		}
+		thirds[b] = t
+	}
+	txn := s.Engine.NewTransaction(tmpl, requester, home, thirds, now)
+	s.Table.Add(txn)
+	return txn
+}
+
+// Active implements Source: synthetic sources never exhaust.
+func (s *Synthetic) Active(int64) bool { return true }

@@ -1,0 +1,182 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+func testNI(t *testing.T, eng *protocol.Engine, table *protocol.Table) *netiface.NI {
+	t.Helper()
+	var pktID message.PacketID
+	ni := netiface.New(netiface.Config{
+		Endpoint:        0,
+		Queues:          1,
+		QueueIndex:      func(message.Type, bool) int { return 0 },
+		QueueCap:        16,
+		ServiceTime:     40,
+		DetectThreshold: 25,
+		InjectVCs:       func(*message.Message) []int { return []int{0} },
+		Engine:          eng,
+		Table:           table,
+		NextPacketID:    func() message.PacketID { pktID++; return pktID },
+	})
+	ni.Inject = router.NewChannel(router.KindInject, 0, 0, 0, 0, 0, 1, 2)
+	ni.Eject = router.NewChannel(router.KindEject, 0, 0, 0, 0, 1, 1, 2)
+	return ni
+}
+
+func newSynthetic(t *testing.T, rate float64) (*Synthetic, *netiface.NI) {
+	t.Helper()
+	eng, err := protocol.NewEngine(protocol.PAT271, protocol.DefaultLengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := protocol.NewTable()
+	s := NewSynthetic(rate, 16, eng, table, sim.NewRNG(7))
+	return s, testNI(t, eng, table)
+}
+
+func TestGenerationRate(t *testing.T) {
+	s, ni := newSynthetic(t, 0.1)
+	const cycles = 20000
+	for now := int64(0); now < cycles; now++ {
+		s.Generate(now, 3, ni)
+	}
+	got := float64(s.Generated) / cycles
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("generation rate = %v, want ~0.1", got)
+	}
+	if ni.SourceBacklog() == 0 {
+		t.Fatal("nothing enqueued")
+	}
+}
+
+func TestParticipantsDistinct(t *testing.T) {
+	s, _ := newSynthetic(t, 1)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 500; i++ {
+		txn := s.NewTransaction(5, rng, 0)
+		if txn.Home == 5 {
+			t.Fatal("home equals requester")
+		}
+		for _, third := range txn.Thirds {
+			if third == txn.Home {
+				t.Fatal("third equals home")
+			}
+		}
+	}
+}
+
+func TestTemplateMixMatchesWeights(t *testing.T) {
+	s, _ := newSynthetic(t, 1)
+	rng := sim.NewRNG(9)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		txn := s.NewTransaction(0, rng, 0)
+		counts[txn.Tmpl.Name]++
+	}
+	// PAT271: 20/70/10.
+	if math.Abs(float64(counts["chain2"])/n-0.2) > 0.02 ||
+		math.Abs(float64(counts["chain3-s1"])/n-0.7) > 0.02 ||
+		math.Abs(float64(counts["chain4-s1"])/n-0.1) > 0.02 {
+		t.Fatalf("template mix = %v", counts)
+	}
+}
+
+func TestOutstandingLimitThrottles(t *testing.T) {
+	s, ni := newSynthetic(t, 1) // generate every cycle
+	s.MaxOutstanding = 4
+	for now := int64(0); now < 100; now++ {
+		s.Generate(now, 2, ni)
+	}
+	if s.Generated != 4 {
+		t.Fatalf("generated %d, want 4 (limit)", s.Generated)
+	}
+	if s.Throttled != 96 {
+		t.Fatalf("throttled %d, want 96", s.Throttled)
+	}
+	if s.Outstanding(2) != 4 {
+		t.Fatalf("outstanding = %d", s.Outstanding(2))
+	}
+	// Completion frees a slot.
+	s.TxnCompleted(2)
+	s.Generate(200, 2, ni)
+	if s.Generated != 5 {
+		t.Fatal("completion did not free an MSHR")
+	}
+}
+
+func TestTxnCompletedUnderflowSafe(t *testing.T) {
+	s, _ := newSynthetic(t, 1)
+	s.TxnCompleted(0) // must not go negative / panic
+	if s.Outstanding(0) != 0 {
+		t.Fatal("outstanding went negative")
+	}
+}
+
+func TestSyntheticAlwaysActive(t *testing.T) {
+	s, _ := newSynthetic(t, 0.5)
+	if !s.Active(0) || !s.Active(1e9) {
+		t.Fatal("synthetic source must always be active")
+	}
+}
+
+func TestPerEndpointStreamsIndependent(t *testing.T) {
+	// Generation at endpoint k must not depend on how many other
+	// endpoints were polled before it.
+	mk := func(poll []int) int64 {
+		eng, _ := protocol.NewEngine(protocol.PAT100, protocol.DefaultLengths)
+		table := protocol.NewTable()
+		s := NewSynthetic(0.5, 4, eng, table, sim.NewRNG(11))
+		ni := testNIquiet(eng, table)
+		for now := int64(0); now < 200; now++ {
+			for _, ep := range poll {
+				s.Generate(now, ep, ni)
+			}
+		}
+		return s.Generated
+	}
+	full := mk([]int{0, 1, 2, 3})
+	if full == 0 {
+		t.Fatal("nothing generated")
+	}
+	// Endpoint 3 alone should generate the same count as within the group.
+	aloneEng, _ := protocol.NewEngine(protocol.PAT100, protocol.DefaultLengths)
+	tab := protocol.NewTable()
+	sAll := NewSynthetic(0.5, 4, aloneEng, tab, sim.NewRNG(11))
+	sOne := NewSynthetic(0.5, 4, aloneEng, tab, sim.NewRNG(11))
+	ni := testNIquiet(aloneEng, tab)
+	for now := int64(0); now < 200; now++ {
+		for ep := 0; ep < 4; ep++ {
+			sAll.Generate(now, ep, ni)
+		}
+		sOne.Generate(now, 3, ni)
+	}
+	// Compare per-endpoint outstanding counts for endpoint 3.
+	if sAll.Outstanding(3) != sOne.Outstanding(3) {
+		t.Fatalf("endpoint 3 stream depends on other endpoints: %d vs %d",
+			sAll.Outstanding(3), sOne.Outstanding(3))
+	}
+}
+
+func testNIquiet(eng *protocol.Engine, table *protocol.Table) *netiface.NI {
+	var pktID message.PacketID
+	ni := netiface.New(netiface.Config{
+		Endpoint: 0, Queues: 1,
+		QueueIndex:      func(message.Type, bool) int { return 0 },
+		QueueCap:        1 << 20,
+		ServiceTime:     1,
+		DetectThreshold: 1 << 20,
+		InjectVCs:       func(*message.Message) []int { return nil },
+		Engine:          eng, Table: table,
+		NextPacketID: func() message.PacketID { pktID++; return pktID },
+	})
+	return ni
+}
