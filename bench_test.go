@@ -15,6 +15,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/experiments"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/schemes"
 	"repro/internal/sim"
@@ -185,6 +186,30 @@ func BenchmarkSimulationCycle(b *testing.B) {
 		b.Fatal(err)
 	}
 	n.RunCycles(2000) // reach steady occupancy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+// BenchmarkSimulationCycleTraced is BenchmarkSimulationCycle with the full
+// observability stack attached (ring-buffer trace sink). Comparing the two
+// bounds the tracing cost; comparing BenchmarkSimulationCycle against the
+// pre-observability baseline bounds the disabled-path cost, which must stay
+// under 2%: every instrumentation site is a single nil check.
+func BenchmarkSimulationCycleTraced(b *testing.B) {
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.01
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0
+	cfg.CWGInterval = 0
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.AttachObs(obs.NewBus(obs.NewRingSink(1 << 16)))
+	n.RunCycles(2000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()

@@ -6,17 +6,28 @@
 // Example:
 //
 //	netsim -scheme PR -pattern PAT271 -vcs 4 -rate 0.012 -measure 30000
+//
+// Observability:
+//
+//	netsim -scheme PR -rate 0.03 -trace run.trace -trace-format chrome
+//	netsim -scheme PR -rate 0.03 -metrics-csv run.csv -metrics-window 100
+//	netsim -scheme PR -rate 0.03 -episodes
+//
+// A drain phase that times out with undelivered messages still prints the
+// collected statistics but exits with status 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro"
 	"repro/internal/netiface"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/schemes"
 )
@@ -40,6 +51,13 @@ func main() {
 		drain       = flag.Int64("drain", 30000, "max drain cycles")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		cwg         = flag.Int64("cwg", 50, "CWG scan interval (0 disables)")
+
+		tracePath    = flag.String("trace", "", "write a structured event trace to this file")
+		traceFormat  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (chrome://tracing / Perfetto)")
+		metricsCSV   = flag.String("metrics-csv", "", "write windowed time-series metrics as CSV to this file")
+		metricsWin   = flag.Int64("metrics-window", 100, "metrics sampling window in cycles")
+		episodes     = flag.Bool("episodes", false, "record deadlock episodes (needs -cwg > 0) and print them")
+		episodesJSON = flag.String("episodes-json", "", "write deadlock episodes as JSONL to this file (implies -episodes)")
 	)
 	flag.Parse()
 
@@ -78,11 +96,54 @@ func main() {
 
 	sim, err := repro.NewSimulator(cfg)
 	fatal(err)
+
+	// Observability attachments. Files are closed (and stream sinks
+	// finalized) after the run, before the process exits.
+	net := sim.Network()
+	var bus *obs.Bus
+	var files []io.Closer
+	var tracker *obs.EpisodeTracker
+	wantEpisodes := *episodes || *episodesJSON != ""
+	if *tracePath != "" || *metricsCSV != "" || wantEpisodes {
+		bus = obs.NewBus()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			fatal(err)
+			files = append(files, f)
+			switch *traceFormat {
+			case "jsonl":
+				bus.Add(obs.NewJSONLSink(f))
+			case "chrome":
+				bus.Add(obs.NewChromeTraceSink(f))
+			default:
+				fatal(fmt.Errorf("unknown trace format %q (want jsonl or chrome)", *traceFormat))
+			}
+		}
+		net.AttachObs(bus)
+		if *metricsCSV != "" {
+			f, err := os.Create(*metricsCSV)
+			fatal(err)
+			files = append(files, f)
+			net.AttachSampler(obs.NewSampler(f, *metricsWin, net.Torus.Endpoints(), net.Gauges))
+		}
+		if wantEpisodes {
+			tracker = &obs.EpisodeTracker{}
+			fatal(net.AttachEpisodes(tracker))
+		}
+	}
+
 	res := sim.Run()
+	if bus != nil {
+		fatal(bus.Close())
+		for _, f := range files {
+			fatal(f.Close())
+		}
+	}
 
 	fmt.Printf("config: %s %s on %v torus, %d VCs, rate=%.4f\n", kind, pat.Name, cfg.Radix, cfg.VCs, cfg.Rate)
 	fmt.Printf("throughput:            %.4f flits/node/cycle\n", res.Throughput)
 	fmt.Printf("avg message latency:   %.1f cycles\n", res.AvgLatency)
+	fmt.Printf("latency p50/p95/p99:   %d / %d / %d cycles\n", res.LatencyP50, res.LatencyP95, res.LatencyP99)
 	fmt.Printf("avg txn latency:       %.1f cycles\n", res.AvgTxnLatency)
 	fmt.Printf("delivered:             %d messages (%d flits)\n", res.DeliveredMessages, res.DeliveredFlits)
 	fmt.Printf("transactions:          %d\n", res.Transactions)
@@ -91,6 +152,33 @@ func main() {
 	fmt.Printf("rescues:               %d\n", res.Rescues)
 	fmt.Printf("CWG knots:             %d (normalized %.6f)\n", res.Deadlocks, res.NormalizedDeadlocks)
 	fmt.Printf("drained:               %v\n", res.Drained)
+
+	if tracker != nil {
+		eps := tracker.Episodes()
+		fmt.Printf("deadlock episodes:     %d", len(eps))
+		if d := tracker.Dropped(); d > 0 {
+			fmt.Printf(" (+%d dropped)", d)
+		}
+		fmt.Println()
+		if *episodes {
+			for _, ep := range eps {
+				fmt.Print(ep.Format())
+			}
+		}
+		if *episodesJSON != "" {
+			f, err := os.Create(*episodesJSON)
+			fatal(err)
+			fatal(tracker.WriteJSON(f))
+			fatal(f.Close())
+		}
+	}
+
+	if !res.Drained {
+		fmt.Fprintf(os.Stderr,
+			"netsim: drain phase timed out after %d cycles with %d transactions outstanding; statistics above are partial\n",
+			cfg.MaxDrain, net.Table.Len())
+		os.Exit(2)
+	}
 }
 
 // parseRadix parses "8x8" or "4x4x4" into per-dimension radices.

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/message"
 	"repro/internal/netiface"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/token"
@@ -100,6 +101,10 @@ type Config struct {
 type Rescue struct {
 	cfg Config
 
+	// bus receives token-capture, lane-transfer, preemption, and
+	// token-release trace events; nil when tracing is off.
+	bus *obs.Bus
+
 	phase Phase
 	stack []frame
 
@@ -127,6 +132,9 @@ func New(cfg Config) *Rescue {
 	}
 	return &Rescue{cfg: cfg}
 }
+
+// SetObs installs the trace bus (nil disables tracing again).
+func (r *Rescue) SetObs(b *obs.Bus) { r.bus = b }
 
 // Phase exposes the current state (for tests and observability).
 func (r *Rescue) CurrentPhase() Phase { return r.phase }
@@ -201,6 +209,7 @@ func (r *Rescue) tryCapture(at topology.NodeID, now int64) {
 		r.stack = []frame{{endpoint: ep}}
 		r.phase = PhaseWaitService
 		r.noteRescue(now)
+		r.emitCapture(now, m)
 		return
 	}
 	rt := r.cfg.Routers[at]
@@ -215,8 +224,9 @@ func (r *Rescue) tryCapture(at topology.NodeID, now int64) {
 		r.captureRouter = at
 		r.evacuate(pkt, now)
 		r.stack = []frame{{endpoint: -1}}
-		r.beginTransfer(pkt.Msg, at)
 		r.noteRescue(now)
+		r.emitCapture(now, pkt.Msg)
+		r.beginTransfer(pkt.Msg, at, now)
 		return
 	}
 }
@@ -225,6 +235,20 @@ func (r *Rescue) noteRescue(now int64) {
 	if r.cfg.OnRescue != nil {
 		r.cfg.OnRescue(now)
 	}
+}
+
+// emitCapture traces a token capture for message m at the capture router.
+func (r *Rescue) emitCapture(now int64, m *message.Message) {
+	if r.bus == nil {
+		return
+	}
+	e := obs.Event{Cycle: now, Kind: obs.KindTokenCapture, Node: int(r.captureRouter)}
+	if m != nil {
+		e.Txn = int64(m.Txn)
+		e.MsgType = m.Type.String()
+		e.Src, e.Dst = m.Src, m.Dst
+	}
+	r.bus.Emit(e)
 }
 
 // eligibleQueue re-verifies the endpoint deadlock condition at capture time:
@@ -279,7 +303,7 @@ func (r *Rescue) routerOf(endpoint int) topology.NodeID {
 // beginTransfer launches a DB-lane transfer of m to its destination's DMB.
 // The lane is a pipeline of flit-sized deadlock buffers, so the latency is
 // the hop distance plus the packet length in flits.
-func (r *Rescue) beginTransfer(m *message.Message, from topology.NodeID) {
+func (r *Rescue) beginTransfer(m *message.Message, from topology.NodeID, now int64) {
 	m.Rescued = true
 	dst := r.cfg.Torus.EndpointByID(m.Dst)
 	r.transferMsg = m
@@ -289,6 +313,13 @@ func (r *Rescue) beginTransfer(m *message.Message, from topology.NodeID) {
 	}
 	r.LaneTransfers++
 	r.phase = PhaseTransfer
+	if r.bus != nil {
+		r.bus.Emit(obs.Event{
+			Cycle: now, Kind: obs.KindLaneTransfer, Node: int(from),
+			Arg: r.timer, Txn: int64(m.Txn), MsgType: m.Type.String(),
+			Src: m.Src, Dst: m.Dst,
+		})
+	}
 }
 
 // Serviced receives a memory-controller completion performed on the
@@ -341,6 +372,12 @@ func (r *Rescue) arrive(now int64) {
 		panic("core: destination rescue service refused")
 	}
 	r.Preemptions++
+	if r.bus != nil {
+		r.bus.Emit(obs.Event{
+			Cycle: now, Kind: obs.KindPreempt, Node: int(r.returnFrom),
+			Txn: int64(m.Txn), MsgType: m.Type.String(), Src: m.Src, Dst: m.Dst,
+		})
+	}
 	r.serviceNI = ni
 	r.stack = append(r.stack, frame{endpoint: m.Dst})
 	if len(r.stack) > r.MaxDepth {
@@ -366,19 +403,19 @@ func (r *Rescue) tokenReturn() {
 func (r *Rescue) advance(now int64) {
 	for {
 		if len(r.stack) == 0 {
-			r.finish()
+			r.finish(now)
 			return
 		}
 		top := &r.stack[len(r.stack)-1]
 		if len(top.pending) > 0 {
 			sub := top.pending[0]
 			top.pending = top.pending[1:]
-			r.beginTransfer(sub, r.routerOf(top.endpoint))
+			r.beginTransfer(sub, r.routerOf(top.endpoint), now)
 			return
 		}
 		if len(r.stack) == 1 {
 			r.stack = nil
-			r.finish()
+			r.finish(now)
 			return
 		}
 		from := r.routerOf(top.endpoint)
@@ -394,13 +431,19 @@ func (r *Rescue) advance(now int64) {
 }
 
 // finish releases the token for re-circulation from the capture router.
-func (r *Rescue) finish() {
+func (r *Rescue) finish(now int64) {
 	r.phase = PhaseIdle
 	r.stack = nil
 	r.transferMsg = nil
 	r.serviceNI = nil
 	r.Completed++
 	r.cfg.Token.Release(r.captureRouter)
+	if r.bus != nil {
+		r.bus.Emit(obs.Event{
+			Cycle: now, Kind: obs.KindTokenRelease, Node: int(r.captureRouter),
+			Arg: int64(r.MaxDepth),
+		})
+	}
 }
 
 func (r *Rescue) String() string {

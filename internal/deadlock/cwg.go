@@ -10,8 +10,11 @@
 package deadlock
 
 import (
+	"fmt"
+
 	"repro/internal/message"
 	"repro/internal/netiface"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -59,6 +62,13 @@ type Detector struct {
 	Scans          int64
 	Deadlocks      int64
 	LastDeadlocked int
+
+	// Forensics, when set, makes each scan retain the deadlocked wait-for
+	// subgraph as a resource chain retrievable via KnotChain — the raw
+	// material for deadlock-episode records. Off by default: building the
+	// chain allocates per scan.
+	Forensics bool
+	lastChain []obs.WaitResource
 }
 
 // NewDetector builds a detector over the host.
@@ -95,8 +105,15 @@ func consumerRouter(ch *router.Channel) topology.NodeID {
 
 // Scan inspects the system and returns the number of resources currently in
 // a knot and the number of newly formed knot components since the previous
-// scan.
+// scan. Forensic blocked-durations are unavailable through this entry point;
+// use ScanAt when the current cycle is known.
 func (d *Detector) Scan() (deadlockedResources, newKnots int) {
+	return d.ScanAt(-1)
+}
+
+// ScanAt is Scan with the current cycle supplied, letting forensics report
+// how long each deadlocked virtual channel has gone without movement.
+func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 	h := d.host
 	tor := h.Topology()
 
@@ -324,5 +341,96 @@ func (d *Detector) Scan() (deadlockedResources, newKnots int) {
 	d.Scans++
 	d.Deadlocks += int64(newKnots)
 	d.LastDeadlocked = deadlockedResources
+	if d.Forensics {
+		d.lastChain = d.buildChain(now, locked, adj)
+	}
 	return deadlockedResources, newKnots
+}
+
+// KnotChain returns the most recent scan's deadlocked wait chain (nil when
+// the last scan found no knot or Forensics is off). Entries are in vertex
+// order; WaitsFor indices refer to positions within the returned slice.
+func (d *Detector) KnotChain() []obs.WaitResource { return d.lastChain }
+
+// buildChain snapshots the deadlocked subgraph as self-describing resources:
+// location, occupant message identity, blocked duration, and wait-for edges
+// remapped onto chain indices.
+func (d *Detector) buildChain(now int64, locked []bool, adj [][]int32) []obs.WaitResource {
+	idx := make(map[int]int)
+	for v := 0; v < d.total; v++ {
+		if locked[v] {
+			idx[v] = len(idx)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	h := d.host
+	tor := h.Topology()
+	chain := make([]obs.WaitResource, len(idx))
+	fill := func(v int, r obs.WaitResource) {
+		for _, w := range adj[v] {
+			if j, ok := idx[int(w)]; ok {
+				r.WaitsFor = append(r.WaitsFor, j)
+			}
+		}
+		chain[idx[v]] = r
+	}
+	for _, ch := range h.AllChannels() {
+		for _, vc := range ch.VCs {
+			v := d.vcVertex(ch, vc.Index)
+			if !locked[v] {
+				continue
+			}
+			r := obs.WaitResource{
+				Kind: "vc", Desc: vc.String(),
+				Router:   int(consumerRouter(ch)),
+				Endpoint: -1, Queue: -1, VC: vc.Index,
+				BlockedFor: -1,
+			}
+			if now >= 0 {
+				r.BlockedFor = now - vc.LastMove
+			}
+			if f, ok := vc.Front(); ok {
+				r.Pkt = int64(f.Pkt.ID)
+				m := f.Pkt.Msg
+				r.Txn = int64(m.Txn)
+				r.MsgType = m.Type.String()
+				r.Src, r.Dst = m.Src, m.Dst
+			}
+			fill(v, r)
+		}
+	}
+	for ep, ni := range h.AllNIs() {
+		rt := int(tor.EndpointByID(ep).Router)
+		for q := 0; q < d.queues; q++ {
+			if v := d.inVertex(ep, q); locked[v] {
+				r := obs.WaitResource{
+					Kind: "inq", Desc: fmt.Sprintf("ni%d.in%d", ep, q),
+					Router: rt, Endpoint: ep, Queue: q, VC: -1,
+					BlockedFor: -1,
+				}
+				if m, ok := ni.Head(q); ok {
+					r.Txn = int64(m.Txn)
+					r.MsgType = m.Type.String()
+					r.Src, r.Dst = m.Src, m.Dst
+				}
+				fill(v, r)
+			}
+			if v := d.outVertex(ep, q); locked[v] {
+				r := obs.WaitResource{
+					Kind: "outq", Desc: fmt.Sprintf("ni%d.out%d", ep, q),
+					Router: rt, Endpoint: ep, Queue: q, VC: -1,
+					BlockedFor: -1,
+				}
+				if m, _, _, ok := ni.OutHead(q); ok {
+					r.Txn = int64(m.Txn)
+					r.MsgType = m.Type.String()
+					r.Src, r.Dst = m.Src, m.Dst
+				}
+				fill(v, r)
+			}
+		}
+	}
+	return chain
 }

@@ -88,6 +88,9 @@ func runPoint(cfg network.Config) (stats.Point, error) {
 		Applied:     cfg.Rate,
 		Throughput:  s.Throughput(),
 		Latency:     s.AvgLatency(),
+		LatencyP50:  float64(s.LatencyP50()),
+		LatencyP95:  float64(s.LatencyP95()),
+		LatencyP99:  float64(s.LatencyP99()),
 		TxnLatency:  s.AvgTxnLatency(),
 		Deflections: s.Deflections,
 		Rescues:     s.Rescues,

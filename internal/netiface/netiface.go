@@ -62,6 +62,13 @@ type Hooks struct {
 	// which the rescue engine routes (output queue or deadlock message
 	// buffer).
 	RescueServiced func(ni *NI, m *message.Message, subs []*message.Message, now int64)
+	// QueueFull fires once per blockage when queue q first refuses work
+	// for lack of space (out=true for the output side: the controller or
+	// source could not place a message; out=false for the input side: an
+	// ejecting header found no slot). It re-arms when the queue next
+	// sheds an entry. Installed by the observability layer; nil costs one
+	// branch.
+	QueueFull func(ni *NI, q int, now int64, out bool)
 }
 
 // Config parameterizes one NI.
@@ -141,6 +148,11 @@ type NI struct {
 
 	streak []int64
 
+	// inFullNoted/outFullNoted dedupe QueueFull events: one per blockage,
+	// re-armed when the queue sheds an entry.
+	inFullNoted  []bool
+	outFullNoted []bool
+
 	ctrlRR int
 	injRR  int
 	ejRR   int
@@ -166,7 +178,25 @@ func New(cfg Config) *NI {
 	ni.inQ = make([][]*message.Message, cfg.Queues)
 	ni.inAlloc = make([]int, cfg.Queues)
 	ni.streak = make([]int64, cfg.Queues)
+	ni.inFullNoted = make([]bool, cfg.Queues)
+	ni.outFullNoted = make([]bool, cfg.Queues)
 	return ni
+}
+
+// noteQueueFull reports the first refusal of a blockage on queue q.
+func (n *NI) noteQueueFull(q int, now int64, out bool) {
+	if n.Cfg.Hooks.QueueFull == nil {
+		return
+	}
+	noted := n.inFullNoted
+	if out {
+		noted = n.outFullNoted
+	}
+	if noted[q] {
+		return
+	}
+	noted[q] = true
+	n.Cfg.Hooks.QueueFull(n, q, now, out)
 }
 
 // queueOf maps a message to its queue index.
@@ -219,6 +249,7 @@ func (n *NI) Head(q int) (*message.Message, bool) {
 func (n *NI) PopHead(q int) *message.Message {
 	m := n.inQ[q][0]
 	n.inQ[q] = n.inQ[q][1:]
+	n.inFullNoted[q] = false
 	return m
 }
 
@@ -341,6 +372,7 @@ func (n *NI) drainEjection(now int64) {
 		if f.Head() && !m.Preallocated {
 			q := n.queueOf(m)
 			if !n.InSpace(q) {
+				n.noteQueueFull(q, now, false)
 				continue
 			}
 			n.inAlloc[q]++
@@ -408,14 +440,17 @@ func (n *NI) controller(now int64) {
 			// via preallocation); treat defensively as directly
 			// consumable.
 			n.inQ[q] = n.inQ[q][1:]
+			n.inFullNoted[q] = false
 			continue
 		}
 		subQ := n.Cfg.QueueIndex(typ, false)
 		if !n.OutSpace(subQ, count) {
+			n.noteQueueFull(subQ, now, true)
 			continue
 		}
 		n.outRes[subQ] += count
 		n.inQ[q] = n.inQ[q][1:]
+		n.inFullNoted[q] = false
 		n.ctrlMsg = m
 		n.ctrlBusyUntil = now + int64(n.Cfg.ServiceTime)
 		n.ctrlRR = q + 1
@@ -437,6 +472,9 @@ func (n *NI) drainPendingGen(now int64) {
 			pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: e.msg}
 			n.outQ[q] = append(n.outQ[q], outEntry{msg: e.msg, pkt: pkt})
 		} else {
+			if now >= e.readyAt {
+				n.noteQueueFull(q, now, true)
+			}
 			kept = append(kept, e)
 		}
 	}
@@ -449,6 +487,7 @@ func (n *NI) drainSource(now int64) {
 		m := n.sourceQ[0]
 		q := n.queueOf(m)
 		if !n.OutSpace(q, 1) {
+			n.noteQueueFull(q, now, true)
 			return
 		}
 		pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: m}
@@ -504,6 +543,7 @@ func (n *NI) inject(now int64) {
 		e.pkt.SentFlits++
 		if e.pkt.SentFlits == e.msg.Flits {
 			n.outQ[q] = n.outQ[q][1:]
+			n.outFullNoted[q] = false
 		}
 		n.injRR = q + 1
 		return
@@ -520,6 +560,7 @@ func (n *NI) AbortInjection(pkt *message.Packet) bool {
 	for q := 0; q < n.Cfg.Queues; q++ {
 		if len(n.outQ[q]) > 0 && n.outQ[q][0].pkt == pkt {
 			n.outQ[q] = n.outQ[q][1:]
+			n.outFullNoted[q] = false
 			pkt.SentFlits = pkt.Msg.Flits
 			return true
 		}

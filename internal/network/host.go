@@ -4,6 +4,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/message"
 	"repro/internal/netiface"
+	"repro/internal/obs"
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -60,10 +61,21 @@ func (n *Network) attachDetector() {
 	det := deadlock.NewDetector(n)
 	n.Detector = det
 	n.scan = func(now int64) {
-		_, fresh := det.Scan()
+		locked, fresh := det.ScanAt(now)
 		if n.inWindow(now) {
 			n.Stats.CWGScans++
 			n.Stats.CWGDeadlocks += int64(fresh)
+		}
+		if n.bus != nil {
+			n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindCWGScan, Node: -1,
+				Arg: int64(locked), Aux: int64(fresh)})
+			if fresh > 0 {
+				n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindCWGDeadlock,
+					Node: -1, Arg: int64(locked), Aux: int64(fresh)})
+			}
+		}
+		if n.episodes != nil {
+			n.episodes.Observe(now, locked, det.KnotChain())
 		}
 	}
 }

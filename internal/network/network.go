@@ -7,6 +7,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/message"
 	"repro/internal/netiface"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/routing"
@@ -44,6 +45,13 @@ type Network struct {
 
 	RNG       *sim.RNG
 	nextPktID message.PacketID
+
+	// bus, sampler and episodes are the optional observability layer,
+	// installed by AttachObs/AttachSampler/AttachEpisodes (obs.go). All nil
+	// in a plain run: every emission site guards with one nil check.
+	bus      *obs.Bus
+	sampler  *obs.Sampler
+	episodes *obs.EpisodeTracker
 
 	// OnCycle, when non-nil, runs at the end of every cycle (used by the
 	// trace harness to sample load and by tests to observe state).
@@ -122,6 +130,9 @@ func newBare(cfg Config) (*Network, error) {
 				if n.inWindow(now) {
 					n.Stats.Rescues++
 					n.Stats.TokenCaptures++
+				}
+				if n.episodes != nil {
+					n.episodes.Resolved(now, "rescue")
 				}
 			},
 		})
@@ -232,10 +243,20 @@ func (n *Network) onInjected(m *message.Message, now int64) {
 	if n.inWindow(now) {
 		n.Stats.OnInjected(m)
 	}
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindInject, Node: m.Src,
+			Arg: int64(m.Flits), Txn: int64(m.Txn), MsgType: m.Type.String(),
+			Src: m.Src, Dst: m.Dst})
+	}
 }
 
 func (n *Network) onDelivered(m *message.Message, now int64) {
 	n.Stats.OnDelivered(m, n.inWindow(now), n.inWindow(m.Created))
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindDeliver, Node: m.Dst,
+			Arg: int64(m.Flits), Aux: m.TotalLatency(),
+			Txn: int64(m.Txn), MsgType: m.Type.String(), Src: m.Src, Dst: m.Dst})
+	}
 }
 
 func (n *Network) onTxnComplete(t *protocol.Transaction, now int64) {
@@ -254,6 +275,10 @@ func (n *Network) onTxnComplete(t *protocol.Transaction, now int64) {
 func (n *Network) onDetect(ni *netiface.NI, q int, now int64) {
 	if n.inWindow(now) {
 		n.Stats.DetectEvents++
+	}
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindDetect,
+			Node: ni.Cfg.Endpoint, Arg: int64(q)})
 	}
 	switch n.Cfg.Scheme {
 	case schemes.DR:
@@ -289,6 +314,14 @@ func (n *Network) nackHead(ni *netiface.NI, q int, now int64) {
 		n.Stats.Deflections++ // recovery actions share the counter; the
 		// scheme kind disambiguates in reports
 	}
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindNack,
+			Node: ni.Cfg.Endpoint, Arg: int64(q), Txn: int64(m.Txn),
+			MsgType: m.Type.String(), Src: m.Src, Dst: m.Dst})
+	}
+	if n.episodes != nil {
+		n.episodes.Resolved(now, "nack")
+	}
 }
 
 // deflect performs the Origin2000 backoff action: pop the head request whose
@@ -318,6 +351,14 @@ func (n *Network) deflect(ni *netiface.NI, q int, now int64) {
 	ni.EnqueueOut(brp)
 	if n.inWindow(now) {
 		n.Stats.Deflections++
+	}
+	if n.bus != nil {
+		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindDeflect,
+			Node: ni.Cfg.Endpoint, Arg: int64(q), Txn: int64(m.Txn),
+			MsgType: m.Type.String(), Src: m.Src, Dst: m.Dst})
+	}
+	if n.episodes != nil {
+		n.episodes.Resolved(now, "deflection")
 	}
 }
 
@@ -352,6 +393,9 @@ func (n *Network) Step() {
 	}
 	if n.scan != nil && n.Cfg.CWGInterval > 0 && now > 0 && now%n.Cfg.CWGInterval == 0 {
 		n.scan(now)
+	}
+	if n.sampler != nil {
+		n.sampler.Tick(now)
 	}
 	if n.OnCycle != nil {
 		n.OnCycle(now)

@@ -1,0 +1,137 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// This file wires the observability layer (internal/obs) into a built
+// network: trace-event emission from every instrumented component, the
+// windowed time-series sampler, and deadlock-episode forensics. All of it is
+// attach-on-demand — a network without an attached bus pays one nil-check
+// per event site and allocates nothing.
+
+// routerObs adapts the trace bus to the router package's Obs interface
+// (router cannot import obs without widening its dependency surface).
+type routerObs struct{ bus *obs.Bus }
+
+func (o routerObs) VCAllocated(now int64, r topology.NodeID, pkt *message.Packet, outCh, outVC int) {
+	o.bus.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindVCAlloc, Node: int(r),
+		Arg: int64(outCh), Aux: int64(outVC),
+		Pkt: int64(pkt.ID), Txn: int64(pkt.Msg.Txn), MsgType: pkt.Msg.Type.String(),
+		Src: pkt.Msg.Src, Dst: pkt.Msg.Dst,
+	})
+}
+
+func (o routerObs) VCStalled(now int64, r topology.NodeID, pkt *message.Packet, inCh, inVC int) {
+	o.bus.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindVCStall, Node: int(r),
+		Arg: int64(inCh), Aux: int64(inVC),
+		Pkt: int64(pkt.ID), Txn: int64(pkt.Msg.Txn), MsgType: pkt.Msg.Type.String(),
+		Src: pkt.Msg.Src, Dst: pkt.Msg.Dst,
+	})
+}
+
+// AttachObs installs the trace bus on every instrumented component and emits
+// a metadata event describing the run. Call after New and before Run.
+func (n *Network) AttachObs(bus *obs.Bus) {
+	n.bus = bus
+	ro := routerObs{bus: bus}
+	for _, r := range n.Routers {
+		r.Obs = ro
+	}
+	for _, ni := range n.NIs {
+		ni.Cfg.Hooks.QueueFull = n.onQueueFull
+	}
+	if n.Rescue != nil {
+		n.Rescue.SetObs(bus)
+	}
+	bus.Meta(fmt.Sprintf("radix=%v bristling=%d scheme=%s pattern=%s rate=%g seed=%d partition=%s",
+		n.Cfg.Radix, n.Cfg.Bristling, n.Cfg.Scheme, n.Cfg.Pattern.Name, n.Cfg.Rate,
+		n.Cfg.Seed, n.Scheme.PartitionSummary()))
+}
+
+// Bus returns the attached trace bus, nil when tracing is off.
+func (n *Network) Bus() *obs.Bus { return n.bus }
+
+// AttachSampler registers a windowed time-series sampler: it is added to the
+// bus (creating a bus if none is attached yet) for event counting and ticked
+// every cycle for window rollover.
+func (n *Network) AttachSampler(s *obs.Sampler) {
+	if n.bus == nil {
+		n.AttachObs(obs.NewBus())
+	}
+	n.bus.Add(s)
+	n.sampler = s
+}
+
+// Gauges polls the instantaneous state the sampler's gauge columns report.
+func (n *Network) Gauges() obs.Gauges {
+	now := n.Clock.Now()
+	var g obs.Gauges
+	flits, capacity := 0, 0
+	for _, ch := range n.Channels {
+		for _, vc := range ch.VCs {
+			capacity += vc.Cap()
+			flits += vc.Len()
+			if vc.Blocked(now, blockedGaugeThreshold) {
+				g.BlockedMsgs++
+			}
+		}
+	}
+	if capacity > 0 {
+		g.VCOccupancy = float64(flits) / float64(capacity)
+	}
+	g.Outstanding = n.Table.Len()
+	for _, ni := range n.NIs {
+		g.SourceBacklog += ni.SourceBacklog()
+	}
+	if n.Detector != nil {
+		g.CWGLocked = n.Detector.LastDeadlocked
+	}
+	return g
+}
+
+// blockedGaugeThreshold is the no-progress age (cycles) past which an
+// occupied VC counts into the sampler's blocked gauge. It is a display
+// smoothing constant, not a detection parameter: long enough to skip
+// ordinary switch-arbitration waits, short relative to any detection
+// threshold.
+const blockedGaugeThreshold = 8
+
+// AttachEpisodes enables deadlock-episode forensics: the CWG detector starts
+// retaining knot wait chains and the tracker turns scan results plus
+// recovery actions into episode records. Requires a detector
+// (Cfg.CWGInterval > 0).
+func (n *Network) AttachEpisodes(t *obs.EpisodeTracker) error {
+	if n.Detector == nil {
+		return fmt.Errorf("network: episode forensics need the CWG detector (CWGInterval > 0)")
+	}
+	n.Detector.Forensics = true
+	if t.Bus == nil {
+		t.Bus = n.bus
+	}
+	n.episodes = t
+	return nil
+}
+
+// Episodes returns the attached episode tracker, nil when forensics are off.
+func (n *Network) Episodes() *obs.EpisodeTracker { return n.episodes }
+
+// onQueueFull receives the NI queue-overflow hook (fires once per blockage).
+func (n *Network) onQueueFull(ni *netiface.NI, q int, now int64, out bool) {
+	if n.bus == nil {
+		return
+	}
+	aux := int64(0)
+	if out {
+		aux = 1
+	}
+	n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindQueueFull,
+		Node: ni.Cfg.Endpoint, Arg: int64(q), Aux: aux})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RingSink keeps the most recent events in a bounded ring buffer — the
+// always-affordable sink for post-mortem inspection (tests, the drain
+// timeout report) without unbounded memory growth.
+type RingSink struct {
+	buf   []Event
+	next  int
+	full  bool
+	Total int64
+}
+
+// NewRingSink builds a ring holding up to n events.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Event implements Sink.
+func (r *RingSink) Event(e Event) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.Total++
+}
+
+// Events returns the retained events in chronological order.
+func (r *RingSink) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// JSONLSink writes one JSON object per event per line.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink builds a JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(e Event) { s.enc.Encode(e) }
+
+// Close flushes buffered output.
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// ChromeTraceSink writes the Chrome trace_event JSON format, loadable
+// directly by chrome://tracing and https://ui.perfetto.dev. Simulation
+// cycles map to trace microseconds; routers/endpoints map to thread IDs so
+// per-node activity lines up on separate tracks. Discrete events render as
+// instants, rescues and deadlock episodes as async begin/end spans, and
+// CWG scans as a counter track of deadlocked resources.
+type ChromeTraceSink struct {
+	w     *bufio.Writer
+	first bool
+}
+
+// NewChromeTraceSink builds a Chrome trace sink over w. Close must be
+// called to terminate the JSON document.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return &ChromeTraceSink{w: bw, first: true}
+}
+
+// entry is one trace_event record.
+type entry struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *ChromeTraceSink) write(en entry) {
+	if !s.first {
+		s.w.WriteByte(',')
+	}
+	s.first = false
+	b, err := json.Marshal(en)
+	if err != nil {
+		// Entries are built from plain values; marshal cannot fail, but a
+		// trace must never panic the simulation.
+		return
+	}
+	s.w.Write(b)
+	s.w.WriteByte('\n')
+}
+
+// Event implements Sink.
+func (s *ChromeTraceSink) Event(e Event) {
+	en := entry{Name: string(e.Kind), Cat: "sim", Ts: e.Cycle, Tid: e.Node}
+	if e.Node < 0 {
+		en.Tid = 0
+	}
+	args := map[string]any{}
+	if e.Arg != 0 {
+		args["arg"] = e.Arg
+	}
+	if e.Aux != 0 {
+		args["aux"] = e.Aux
+	}
+	if e.Pkt != 0 {
+		args["pkt"] = e.Pkt
+	}
+	if e.Txn != 0 {
+		args["txn"] = e.Txn
+		args["type"] = e.MsgType
+		args["src"] = e.Src
+		args["dst"] = e.Dst
+	}
+	if e.Note != "" {
+		args["note"] = e.Note
+	}
+	if len(args) > 0 {
+		en.Args = args
+	}
+	switch e.Kind {
+	case KindTokenCapture:
+		en.Ph, en.Cat, en.ID, en.Name = "b", "rescue", 1, "rescue"
+	case KindTokenRelease:
+		en.Ph, en.Cat, en.ID, en.Name = "e", "rescue", 1, "rescue"
+	case KindEpisodeOpen:
+		en.Ph, en.Cat, en.ID, en.Name = "b", "episode", e.Arg, fmt.Sprintf("episode-%d", e.Arg)
+	case KindEpisodeClose:
+		en.Ph, en.Cat, en.ID, en.Name = "e", "episode", e.Arg, fmt.Sprintf("episode-%d", e.Arg)
+	case KindCWGScan:
+		en.Ph, en.Name = "C", "cwg-deadlocked"
+		en.Args = map[string]any{"resources": e.Arg}
+	case KindMeta:
+		en.Ph = "i"
+		en.S = "g"
+	default:
+		en.Ph = "i"
+		en.S = "t"
+	}
+	s.write(en)
+}
+
+// Close terminates the JSON document and flushes.
+func (s *ChromeTraceSink) Close() error {
+	s.w.WriteString("]}\n")
+	return s.w.Flush()
+}

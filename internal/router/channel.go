@@ -72,6 +72,11 @@ type VC struct {
 	// (blocked-time alone cannot distinguish the two once endpoint
 	// controllers saturate).
 	Knotted bool
+
+	// stallNoted dedupes VC-stall trace events: set when the current
+	// blocked header's stall has been reported, cleared on allocation
+	// success or when the buffer drains.
+	stallNoted bool
 }
 
 // Cap returns the buffer capacity in flits.
@@ -127,6 +132,7 @@ func (v *VC) Dequeue(now int64) message.Flit {
 		v.Owner = nil
 		v.Route = nil
 		v.RoutePort = 0
+		v.stallNoted = false
 	}
 	return f
 }
@@ -146,6 +152,7 @@ func (v *VC) Evacuate(pkt *message.Packet, now int64) int {
 	v.Route = nil
 	v.RoutePort = 0
 	v.LastMove = now
+	v.stallNoted = false
 	return n
 }
 

@@ -16,6 +16,19 @@ type Policy interface {
 	Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC
 }
 
+// Obs receives router-level observability events. The network layer
+// installs an implementation when tracing is enabled; a nil Obs costs one
+// branch per event site and nothing else.
+type Obs interface {
+	// VCAllocated fires when a header is granted an output virtual
+	// channel.
+	VCAllocated(now int64, router topology.NodeID, pkt *message.Packet, outCh, outVC int)
+	// VCStalled fires once per blockage when a header fails allocation
+	// (every candidate output VC owned); it does not re-fire while the
+	// same header stays blocked.
+	VCStalled(now int64, router topology.NodeID, pkt *message.Packet, inCh, inVC int)
+}
+
 // Router is one wormhole router: link input channels plus local injection
 // channels feed a crossbar to link output channels and local ejection
 // channels. It also hosts the flit-sized Disha deadlock buffer (DB); the
@@ -23,6 +36,9 @@ type Policy interface {
 // engine, which has global token state.
 type Router struct {
 	ID topology.NodeID
+
+	// Obs is the optional observability hook; nil when tracing is off.
+	Obs Obs
 
 	// Inputs: indices 0..dirs-1 are link inputs (flits travelling in
 	// direction d arrive on input d), dirs..dirs+bristling-1 are injection
@@ -98,7 +114,7 @@ func (r *Router) pickCandidate(cands []routing.PortVC) (routing.PortVC, bool) {
 // front flit is an unrouted header: the first candidate VC not owned by
 // another packet is claimed. Candidate order encodes policy preference
 // (adaptive first, escape last).
-func (r *Router) allocate() {
+func (r *Router) allocate(now int64) {
 	n := len(r.Inputs)
 	for k := 0; k < n; k++ {
 		in := r.Inputs[(r.vaRR+k)%n]
@@ -119,6 +135,13 @@ func (r *Router) allocate() {
 				out.Owner = f.Pkt
 				vc.Route = out
 				vc.RoutePort = pick.Port
+				if r.Obs != nil {
+					r.Obs.VCAllocated(now, r.ID, f.Pkt, out.Ch.ID, out.Index)
+				}
+				vc.stallNoted = false
+			} else if r.Obs != nil && !vc.stallNoted {
+				vc.stallNoted = true
+				r.Obs.VCStalled(now, r.ID, f.Pkt, in.ID, vc.Index)
 			}
 		}
 	}
@@ -178,7 +201,7 @@ func (r *Router) arbitrate(now int64) {
 // arbitration and link traversal. Staged arrivals are committed by the
 // network after every component has stepped.
 func (r *Router) Step(now int64) {
-	r.allocate()
+	r.allocate(now)
 	r.arbitrate(now)
 }
 

@@ -27,6 +27,7 @@ package schemes
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/message"
 	"repro/internal/netiface"
@@ -397,3 +398,45 @@ func (s *Scheme) Availability() int {
 
 // SharedAdaptive reports whether the [21] channel-sharing variant is active.
 func (s *Scheme) SharedAdaptive() bool { return s.sharedAdaptive }
+
+// PartitionSummary renders the resolved resource policy as one line, e.g.
+// "SA C=4 Q=per-type [M1:{0,1} M2:{2,3}]" — recorded as trace metadata so a
+// trace file is self-describing.
+func (s *Scheme) PartitionSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v C=%d Q=%v [", s.Kind, s.VCs, s.QueueMode)
+	switch {
+	case s.Kind == PR || s.Kind == SQ:
+		fmt.Fprintf(&b, "all:%s", vcSet(s.partitions[0]))
+	case s.Kind == DR || s.Kind == AB:
+		fmt.Fprintf(&b, "req:%s rep:%s",
+			vcSet(s.partitions[int(message.ClassRequest)]),
+			vcSet(s.partitions[int(message.ClassReply)]))
+	default:
+		for i, t := range s.usedTypes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%v:%s", t, vcSet(s.partitions[i]))
+		}
+		if s.sharedAdaptive {
+			fmt.Fprintf(&b, " shared:%s", vcSet(s.sharedPool))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// vcSet renders a VC index list compactly.
+func vcSet(vcs []int) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range vcs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package stats
+
+import "math/bits"
+
+// LatencyHist is a log-bucketed histogram of non-negative integer samples
+// (cycle counts), used for the p50/p95/p99 latency reporting that replaces
+// the avg/max-only summary. Values below 128 land in exact one-cycle
+// buckets; beyond that each power-of-two octave splits into 64 sub-buckets,
+// bounding quantile error to under 1.6% while keeping Add to a handful of
+// bit operations and the whole structure a few KiB at simulation-scale
+// latencies. The zero value is ready to use.
+type LatencyHist struct {
+	counts []int64
+	total  int64
+	max    int64
+}
+
+// latBucket maps a sample to its bucket index.
+func latBucket(v int64) int {
+	if v < 128 {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v)) // >= 7
+	shift := uint(msb - 6)
+	return (msb-6)*64 + int(v>>shift)
+}
+
+// latBucketLow returns the smallest sample value mapping to bucket idx.
+func latBucketLow(idx int) int64 {
+	if idx < 128 {
+		return int64(idx)
+	}
+	o := idx/64 - 1
+	sub := idx % 64
+	return (64 + int64(sub)) << uint(o)
+}
+
+// Add records one sample; negative samples are ignored (latencies of
+// undelivered messages are reported as -1 upstream).
+func (h *LatencyHist) Add(v int64) {
+	if v < 0 {
+		return
+	}
+	idx := latBucket(v)
+	if idx >= len(h.counts) {
+		grown := make([]int64, idx+64)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int64 { return h.total }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LatencyHist) Max() int64 { return h.max }
+
+// Quantile returns an upper estimate of the q-quantile (0 < q <= 1): the
+// upper edge of the bucket containing the q*total-th smallest sample,
+// clamped to the observed maximum. Returns 0 on an empty histogram.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for idx, c := range h.counts {
+		cum += c
+		if cum >= target {
+			hi := latBucketLow(idx+1) - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// P50, P95 and P99 are the conventional percentile shorthands.
+func (h *LatencyHist) P50() int64 { return h.Quantile(0.50) }
+func (h *LatencyHist) P95() int64 { return h.Quantile(0.95) }
+func (h *LatencyHist) P99() int64 { return h.Quantile(0.99) }

@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -30,6 +31,11 @@ type Collector struct {
 	LatencySum   int64
 	LatencyMax   int64
 	LatencyCount int64
+
+	// Latencies is the full message-latency distribution, reported as
+	// p50/p95/p99 alongside the mean (avg/max alone hide the tail that
+	// deadlock episodes create).
+	Latencies LatencyHist
 
 	QueueLatencySum int64
 
@@ -87,6 +93,7 @@ func (c *Collector) OnDelivered(m *message.Message, inWindow, latencyEligible bo
 			if lat > c.LatencyMax {
 				c.LatencyMax = lat
 			}
+			c.Latencies.Add(lat)
 		}
 		if ql := m.QueueLatency(); ql >= 0 {
 			c.QueueLatencySum += ql
@@ -115,6 +122,13 @@ func (c *Collector) AvgLatency() float64 {
 	}
 	return float64(c.LatencySum) / float64(c.LatencyCount)
 }
+
+// LatencyP50, LatencyP95 and LatencyP99 return message-latency percentiles
+// from the recorded distribution (upper bucket-edge estimates, error below
+// 1.6%).
+func (c *Collector) LatencyP50() int64 { return c.Latencies.P50() }
+func (c *Collector) LatencyP95() int64 { return c.Latencies.P95() }
+func (c *Collector) LatencyP99() int64 { return c.Latencies.P99() }
 
 // AvgQueueLatency returns mean source-queue waiting time.
 func (c *Collector) AvgQueueLatency() float64 {
@@ -148,6 +162,9 @@ type Point struct {
 	Applied     float64
 	Throughput  float64
 	Latency     float64
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
 	TxnLatency  float64
 	Deflections int64
 	Rescues     int64
@@ -174,10 +191,20 @@ func (s Series) SaturationThroughput() float64 {
 }
 
 // LatencyAt interpolates the series' latency at a given throughput, or
-// returns ok=false if the throughput exceeds the series' reach.
+// returns ok=false if the throughput exceeds the series' reach. Points are
+// normally generated in ascending-throughput order (sweeps stop just past
+// saturation), so the already-sorted fast path avoids the per-call
+// copy-and-sort; only a post-saturation throughput dip pays for a sorted
+// copy.
 func (s Series) LatencyAt(throughput float64) (float64, bool) {
-	pts := append([]Point(nil), s.Points...)
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Throughput < pts[j].Throughput })
+	byThroughput := func(p []Point) func(i, j int) bool {
+		return func(i, j int) bool { return p[i].Throughput < p[j].Throughput }
+	}
+	pts := s.Points
+	if !sort.SliceIsSorted(pts, byThroughput(pts)) {
+		pts = append([]Point(nil), s.Points...)
+		sort.Slice(pts, byThroughput(pts))
+	}
 	for i := 1; i < len(pts); i++ {
 		if pts[i].Throughput >= throughput {
 			lo, hi := pts[i-1], pts[i]
@@ -199,10 +226,10 @@ func FormatBNF(title string, series []Series) string {
 	fmt.Fprintf(&b, "%s\n", title)
 	for _, s := range series {
 		fmt.Fprintf(&b, "  %s (saturation %.4f flits/node/cycle)\n", s.Name, s.SaturationThroughput())
-		fmt.Fprintf(&b, "    %10s %12s %12s %10s %9s %9s\n", "applied", "throughput", "latency", "txn-lat", "deflect", "rescue")
+		fmt.Fprintf(&b, "    %10s %12s %12s %8s %8s %10s %9s %9s\n", "applied", "throughput", "latency", "p50", "p99", "txn-lat", "deflect", "rescue")
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "    %10.5f %12.5f %12.1f %10.1f %9d %9d\n",
-				p.Applied, p.Throughput, p.Latency, p.TxnLatency, p.Deflections, p.Rescues)
+			fmt.Fprintf(&b, "    %10.5f %12.5f %12.1f %8.0f %8.0f %10.1f %9d %9d\n",
+				p.Applied, p.Throughput, p.Latency, p.LatencyP50, p.LatencyP99, p.TxnLatency, p.Deflections, p.Rescues)
 		}
 	}
 	return b.String()
@@ -211,11 +238,11 @@ func FormatBNF(title string, series []Series) string {
 // CSV renders the series in long form for external plotting.
 func CSV(series []Series) string {
 	var b strings.Builder
-	b.WriteString("series,applied,throughput,latency,txn_latency,deflections,rescues,deadlocks,delivered\n")
+	b.WriteString("series,applied,throughput,latency,latency_p50,latency_p95,latency_p99,txn_latency,deflections,rescues,deadlocks,delivered\n")
 	for _, s := range series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%d,%d,%d,%d\n",
-				s.Name, p.Applied, p.Throughput, p.Latency, p.TxnLatency, p.Deflections, p.Rescues, p.Deadlocks, p.Delivered)
+			fmt.Fprintf(&b, "%s,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+				s.Name, p.Applied, p.Throughput, p.Latency, p.LatencyP50, p.LatencyP95, p.LatencyP99, p.TxnLatency, p.Deflections, p.Rescues, p.Deadlocks, p.Delivered)
 		}
 	}
 	return b.String()
@@ -235,14 +262,23 @@ func NewHistogram(width float64, buckets int) *Histogram {
 	return &Histogram{BucketWidth: width, Counts: make([]int64, buckets)}
 }
 
-// Add records a sample; values beyond the last bucket clamp into it.
+// Add records a sample; values beyond the last bucket clamp into it,
+// negative values clamp into the first, and NaN samples are dropped (a
+// NaN's float-to-int conversion is undefined and would corrupt a bucket
+// index).
 func (h *Histogram) Add(v float64) {
-	idx := int(v / h.BucketWidth)
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(v) {
+		return
 	}
-	if idx >= len(h.Counts) {
-		idx = len(h.Counts) - 1
+	idx := 0
+	if v > 0 {
+		// Compare in float space before converting: a huge or +Inf sample
+		// would overflow the int conversion.
+		if f := v / h.BucketWidth; f >= float64(len(h.Counts)) {
+			idx = len(h.Counts) - 1
+		} else {
+			idx = int(f)
+		}
 	}
 	h.Counts[idx]++
 	h.Total++

@@ -105,6 +105,12 @@ type Results struct {
 	// AvgLatency is mean message latency in cycles, queue waiting
 	// included.
 	AvgLatency float64
+	// LatencyP50, LatencyP95 and LatencyP99 are message-latency percentiles
+	// in cycles (upper bucket-edge estimates, error below 1.6%). The mean
+	// alone hides the tail that deadlock episodes create.
+	LatencyP50 int64
+	LatencyP95 int64
+	LatencyP99 int64
 	// AvgTxnLatency is mean transaction completion time in cycles.
 	AvgTxnLatency float64
 	// DeliveredMessages and DeliveredFlits count measured deliveries.
@@ -131,6 +137,9 @@ func (s *Simulator) Run() Results {
 	return Results{
 		Throughput:          st.Throughput(),
 		AvgLatency:          st.AvgLatency(),
+		LatencyP50:          st.LatencyP50(),
+		LatencyP95:          st.LatencyP95(),
+		LatencyP99:          st.LatencyP99(),
 		AvgTxnLatency:       st.AvgTxnLatency(),
 		DeliveredMessages:   st.DeliveredMsgs,
 		DeliveredFlits:      st.DeliveredFlits,
