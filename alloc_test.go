@@ -1,0 +1,44 @@
+package repro
+
+// Allocation regression tests for the simulator hot path. The sweep runner's
+// throughput scales with how cheap one Network.Step is; after warm-in every
+// per-cycle structure (flits, packets, messages, transactions, candidate and
+// arbitration scratch) is recycled, so steady-state stepping must not allocate.
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestStepZeroAllocs pins the steady-state cost of Network.Step at zero
+// allocations per cycle. It mirrors BenchmarkSimulationCycle: an 8x8 torus
+// under moderate load, held in warmup so traffic keeps flowing, warmed long
+// enough that every free list and scratch buffer has reached capacity.
+func TestStepZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping allocation measurement in -short mode")
+	}
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.01
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
+	cfg.CWGInterval = 0
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.RunCycles(4000) // reach steady occupancy and saturate pools
+
+	const cycles = 2000
+	avg := testing.AllocsPerRun(cycles, func() { n.Step() })
+	// Allow a vanishing residue (< 1 alloc per 100 cycles) for rare internal
+	// map growth; any per-cycle allocation on the hot path trips this.
+	if avg > 0.01 {
+		t.Errorf("Network.Step allocated %.4f objects/cycle at steady state, want 0 (hot path regression)", avg)
+	}
+	t.Logf("Network.Step steady-state allocations: %.4f objects/cycle over %d cycles", avg, cycles)
+}

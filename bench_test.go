@@ -80,49 +80,68 @@ func BenchmarkTraceDeadlocks(b *testing.B) {
 // on PAT721 (SA is not configurable, as in the paper). Reports the
 // throughput advantage of PR as pr_over_dr.
 func BenchmarkFig8(b *testing.B) {
-	var prOverDR float64
+	var sum float64
+	valid := 0
 	for i := 0; i < b.N; i++ {
 		dr := benchPoint(b, schemes.DR, protocol.PAT721, 4, 0.014)
 		pr := benchPoint(b, schemes.PR, protocol.PAT721, 4, 0.014)
 		if dr > 0 {
-			prOverDR = pr / dr
+			sum += pr / dr
+			valid++
 		}
 	}
-	b.ReportMetric(prOverDR, "pr_over_dr")
+	reportRatio(b, "pr_over_dr", sum, valid)
+}
+
+// reportRatio reports the mean of a throughput ratio over the iterations
+// whose denominator was valid; when every iteration's denominator saturated
+// to zero the metric is omitted rather than reported as a misleading 0.0.
+func reportRatio(b *testing.B, name string, sum float64, valid int) {
+	b.Helper()
+	if valid == 0 {
+		b.Logf("%s unavailable: denominator throughput was zero in every iteration", name)
+		return
+	}
+	b.ReportMetric(sum/float64(valid), name)
 }
 
 // BenchmarkFig9 regenerates Figure 9's key point at 8 VCs: SA saturates
 // early for 4-type patterns while DR and PR stay close.
 func BenchmarkFig9(b *testing.B) {
-	var saOverPR float64
+	var sum float64
+	valid := 0
 	for i := 0; i < b.N; i++ {
 		sa := benchPoint(b, schemes.SA, protocol.PAT721, 8, 0.014)
 		pr := benchPoint(b, schemes.PR, protocol.PAT721, 8, 0.014)
 		if pr > 0 {
-			saOverPR = sa / pr
+			sum += sa / pr
+			valid++
 		}
 	}
-	b.ReportMetric(saOverPR, "sa_over_pr")
+	reportRatio(b, "sa_over_pr", sum, valid)
 }
 
 // BenchmarkFig10 regenerates Figure 10's key point at 16 VCs: with abundant
 // channels the schemes converge, with SA slightly ahead of shared-queue PR.
 func BenchmarkFig10(b *testing.B) {
-	var saOverPR float64
+	var sum float64
+	valid := 0
 	for i := 0; i < b.N; i++ {
 		sa := benchPoint(b, schemes.SA, protocol.PAT271, 16, 0.016)
 		pr := benchPoint(b, schemes.PR, protocol.PAT271, 16, 0.016)
 		if pr > 0 {
-			saOverPR = sa / pr
+			sum += sa / pr
+			valid++
 		}
 	}
-	b.ReportMetric(saOverPR, "sa_over_pr")
+	reportRatio(b, "sa_over_pr", sum, valid)
 }
 
 // BenchmarkFig11 regenerates Figure 11's ablation: PR with per-type queues
 // (QA) versus PR with a shared queue at 16 VCs.
 func BenchmarkFig11(b *testing.B) {
-	var qaOverShared float64
+	var sum float64
+	valid := 0
 	for i := 0; i < b.N; i++ {
 		cfg := network.DefaultConfig()
 		cfg.Scheme = schemes.PR
@@ -142,10 +161,11 @@ func BenchmarkFig11(b *testing.B) {
 		}
 		qa.Run()
 		if t := shared.Stats.Throughput(); t > 0 {
-			qaOverShared = qa.Stats.Throughput() / t
+			sum += qa.Stats.Throughput() / t
+			valid++
 		}
 	}
-	b.ReportMetric(qaOverShared, "qa_over_shared")
+	reportRatio(b, "qa_over_shared", sum, valid)
 }
 
 // BenchmarkDeadlockFrequency regenerates the deadlock-frequency
@@ -186,6 +206,7 @@ func BenchmarkSimulationCycle(b *testing.B) {
 		b.Fatal(err)
 	}
 	n.RunCycles(2000) // reach steady occupancy
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
@@ -210,6 +231,7 @@ func BenchmarkSimulationCycleTraced(b *testing.B) {
 	}
 	n.AttachObs(obs.NewBus(obs.NewRingSink(1 << 16)))
 	n.RunCycles(2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
@@ -232,6 +254,7 @@ func BenchmarkCWGScan(b *testing.B) {
 		b.Fatal(err)
 	}
 	n.RunCycles(3000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Detector.Scan()
@@ -245,6 +268,7 @@ func BenchmarkCoherenceAccess(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := sim.NewRNG(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := coherence.Read
@@ -257,6 +281,7 @@ func BenchmarkCoherenceAccess(b *testing.B) {
 
 // BenchmarkTraceGeneration measures synthetic trace synthesis.
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := tracegen.NewGenerator(tracegen.Radix, 16, uint64(i+1))
 		g.Generate(5000)
@@ -266,6 +291,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // BenchmarkRNG measures the simulator's random stream.
 func BenchmarkRNG(b *testing.B) {
 	r := sim.NewRNG(7)
+	b.ReportAllocs()
 	var acc uint64
 	for i := 0; i < b.N; i++ {
 		acc += r.Uint64()

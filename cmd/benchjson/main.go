@@ -1,0 +1,96 @@
+// Command benchjson measures the steady-state simulator hot path with the
+// testing package's benchmark driver and appends the result to a JSON file,
+// so performance across PRs can be compared from committed artifacts rather
+// than scrollback.
+//
+// Example:
+//
+//	benchjson -label post-pr2 -o BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// Entry is one recorded measurement of the simulation-cycle hot path.
+type Entry struct {
+	Label       string  `json:"label"`
+	Benchmark   string  `json:"benchmark"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Note        string  `json:"note,omitempty"`
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
+		label = flag.String("label", "current", "label for this measurement")
+	)
+	flag.Parse()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		cfg := network.DefaultConfig()
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = protocol.PAT271
+		cfg.Rate = 0.01
+		cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
+		cfg.CWGInterval = 0
+		n, err := network.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.RunCycles(2000) // reach steady occupancy
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Step()
+		}
+	})
+
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	entry := Entry{
+		Label:        *label,
+		Benchmark:    "SimulationCycle",
+		Iterations:   res.N,
+		NsPerOp:      nsPerOp,
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		AllocsPerOp:  res.AllocsPerOp(),
+		CyclesPerSec: 1e9 / nsPerOp,
+	}
+	if err := appendEntry(*out, entry); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %.0f ns/op  %d B/op  %d allocs/op  %.0f cycles/sec -> %s\n",
+		entry.Label, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp, entry.CyclesPerSec, *out)
+}
+
+// appendEntry reads the existing JSON array (if any), appends the entry, and
+// rewrites the file.
+func appendEntry(path string, e Entry) error {
+	var entries []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON entry array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, e)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

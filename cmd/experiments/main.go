@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro"
@@ -24,12 +25,14 @@ import (
 func main() {
 	scaleName := flag.String("scale", "quick", "run scale: full, quick, or smoke")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points to run in parallel (1 = serial); reports are identical at any value")
 	flag.Parse()
 
 	scale, err := scaleByName(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
+	experiments.SetParallelism(*jobs)
 	names := flag.Args()
 	if len(names) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick|smoke] <name>...\nnames: %v or all\n", repro.ExperimentNames)

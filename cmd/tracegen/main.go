@@ -6,12 +6,16 @@
 //
 //	tracegen -app Radix -nodes 16 -cycles 120000 -o radix.trc
 //	tracegen -app Water -verify        # replay through MSI and print the mix
+//	tracegen -app all -j 4             # all four apps, generated in parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/coherence"
 	"repro/internal/tracegen"
@@ -19,45 +23,105 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "FFT", "application: FFT, LU, Radix, Water")
+		appName = flag.String("app", "FFT", "application: FFT, LU, Radix, Water, or all")
 		nodes   = flag.Int("nodes", 16, "processor count")
 		cycles  = flag.Int64("cycles", 120000, "trace length in cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (default <app>.trc)")
+		out     = flag.String("o", "", "output file (default <app>.trc; ignored with -app all)")
 		verify  = flag.Bool("verify", false, "replay through the MSI engine and print the measured response mix")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "apps to generate in parallel with -app all; output order is fixed")
 	)
 	flag.Parse()
 
-	app, ok := tracegen.AppByName(*appName)
-	if !ok {
-		fatal(fmt.Errorf("unknown app %q (want FFT, LU, Radix, or Water)", *appName))
+	var apps []tracegen.App
+	if strings.EqualFold(*appName, "all") {
+		apps = tracegen.Apps
+	} else {
+		app, ok := tracegen.AppByName(*appName)
+		if !ok {
+			fatal(fmt.Errorf("unknown app %q (want FFT, LU, Radix, Water, or all)", *appName))
+		}
+		apps = []tracegen.App{app}
 	}
-	g := tracegen.NewGenerator(app, *nodes, *seed)
-	tr := g.Generate(*cycles)
-	fmt.Printf("%s: %d records over %d cycles on %d nodes\n", app.Name, len(tr.Records), *cycles, *nodes)
 
-	if *verify {
-		sys, err := coherence.New(coherence.DefaultConfig(*nodes))
-		fatalIf(err)
+	// Each app generates (and optionally verifies) independently; reports
+	// are gathered per app and printed in app order so output is identical
+	// at any -j.
+	reports := make([]string, len(apps))
+	errs := make([]error, len(apps))
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(apps) {
+					return
+				}
+				reports[i], errs[i] = runApp(apps[i], *nodes, *cycles, *seed, *out, *verify, len(apps) > 1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range apps {
+		fatalIf(errs[i])
+		fmt.Print(reports[i])
+	}
+}
+
+// runApp generates one app's trace, optionally verifies its response mix,
+// writes the trace file, and returns the accumulated report text.
+func runApp(app tracegen.App, nodes int, cycles int64, seed uint64, out string, verify, multi bool) (string, error) {
+	var b strings.Builder
+	g := tracegen.NewGenerator(app, nodes, seed)
+	tr := g.Generate(cycles)
+	fmt.Fprintf(&b, "%s: %d records over %d cycles on %d nodes\n", app.Name, len(tr.Records), cycles, nodes)
+
+	if verify {
+		sys, err := coherence.New(coherence.DefaultConfig(nodes))
+		if err != nil {
+			return b.String(), err
+		}
 		for _, r := range tr.Records {
 			sys.Access(int(r.CPU), r.Op, r.Addr)
 		}
 		d, i, f := sys.Mix()
-		fmt.Printf("measured mix: direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%  (%d misses, %d hits)\n",
+		fmt.Fprintf(&b, "measured mix: direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%  (%d misses, %d hits)\n",
 			100*d, 100*i, 100*f, sys.Misses(), sys.Counts[coherence.Hit])
-		fmt.Printf("paper mix:    direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%\n",
+		fmt.Fprintf(&b, "paper mix:    direct %.1f%%  invalidation %.1f%%  forwarding %.1f%%\n",
 			100*app.Direct, 100*app.Inval, 100*app.Forward)
 	}
 
-	path := *out
-	if path == "" {
+	path := out
+	if path == "" || multi {
 		path = app.Name + ".trc"
 	}
 	f, err := os.Create(path)
-	fatalIf(err)
-	fatalIf(tr.Write(f))
-	fatalIf(f.Close())
-	fmt.Printf("wrote %s\n", path)
+	if err != nil {
+		return b.String(), err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return b.String(), err
+	}
+	if err := f.Close(); err != nil {
+		return b.String(), err
+	}
+	fmt.Fprintf(&b, "wrote %s\n", path)
+	return b.String(), nil
 }
 
 func fatal(err error) {

@@ -103,7 +103,19 @@ func runPoint(cfg network.Config) (stats.Point, error) {
 // applied-load ladder "up to a point just beyond saturation" (Section
 // 4.3.1): the sweep stops after throughput drops below its running maximum,
 // keeping that first beyond-saturation point.
+//
+// With Parallelism() > 1 every rate point runs concurrently (speculating
+// past the stop point) and the stop rule is applied to the gathered ladder,
+// which yields exactly the points the serial walk would have kept; with one
+// worker the lazy serial walk below avoids the speculative runs.
 func Sweep(cfg network.Config, rates []float64, name string) (stats.Series, error) {
+	if Parallelism() > 1 {
+		out, err := runSweeps([]sweepJob{{cfg: cfg, name: name}}, rates)
+		if err != nil {
+			return stats.Series{Name: name}, err
+		}
+		return out[0], nil
+	}
 	series := stats.Series{Name: name}
 	best := 0.0
 	for _, r := range rates {
@@ -122,6 +134,63 @@ func Sweep(cfg network.Config, rates []float64, name string) (stats.Series, erro
 	return series, nil
 }
 
+// sweepJob is one series-to-be: a configuration whose Rate field is filled
+// per ladder point, plus the series name.
+type sweepJob struct {
+	cfg  network.Config
+	name string
+}
+
+// runSweeps executes several independent sweeps through one worker pool by
+// flattening every (job, rate) pair into a single ordered point list, then
+// regrouping and truncating each ladder with the serial stop rule. Flat
+// fan-out keeps all workers busy even when individual sweeps have fewer
+// points than workers.
+func runSweeps(jobs []sweepJob, rates []float64) ([]stats.Series, error) {
+	workers := Parallelism()
+	if workers <= 1 {
+		out := make([]stats.Series, len(jobs))
+		for i, job := range jobs {
+			sr, err := Sweep(job.cfg, rates, job.name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sr
+		}
+		return out, nil
+	}
+	pts, err := mapOrdered(workers, len(jobs)*len(rates), func(i int) (stats.Point, error) {
+		c := jobs[i/len(rates)].cfg
+		c.Rate = rates[i%len(rates)]
+		return runPoint(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stats.Series, len(jobs))
+	for i, job := range jobs {
+		ladder := pts[i*len(rates) : (i+1)*len(rates)]
+		out[i] = stats.Series{Name: job.name, Points: truncateAtSaturation(ladder)}
+	}
+	return out, nil
+}
+
+// truncateAtSaturation applies the sweep stop rule to a fully speculated
+// ladder: keep points while throughput grows its running maximum, and stop
+// at (keeping) the first point below 0.97x that maximum — the prefix the
+// serial walk would have produced.
+func truncateAtSaturation(pts []stats.Point) []stats.Point {
+	best := 0.0
+	for i, p := range pts {
+		if p.Throughput > best {
+			best = p.Throughput
+		} else if p.Throughput < 0.97*best {
+			return pts[:i+1]
+		}
+	}
+	return pts
+}
+
 // schemeLabel names a series like the figures' legends.
 func schemeLabel(kind schemes.Kind, qa bool) string {
 	if qa {
@@ -135,26 +204,44 @@ func schemeLabel(kind schemes.Kind, qa bool) string {
 // skipped exactly where the paper omits the corresponding curves (SA at 4
 // VCs for chains > 2; DR for PAT100).
 func FigBNF(w io.Writer, s Scale, title string, vcs int, pats []*protocol.Pattern, seed uint64) ([]stats.Series, error) {
-	var all []stats.Series
 	fmt.Fprintf(w, "=== %s (8x8 torus, %d VCs, scale=%s) ===\n", title, vcs, s.Name)
-	for _, pat := range pats {
-		var series []stats.Series
+	// Collect every valid (pattern, scheme) sweep up front so the whole
+	// figure fans out through one worker pool; omitted-configuration lines
+	// are captured in place to keep the report ordering identical to a
+	// serial walk.
+	type patGroup struct {
+		omitted    []string
+		start, end int
+	}
+	var jobs []sweepJob
+	groups := make([]patGroup, len(pats))
+	for pi, pat := range pats {
+		groups[pi].start = len(jobs)
 		for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
+			if _, err := schemes.New(kind, pat, vcs, -1); err != nil {
+				groups[pi].omitted = append(groups[pi].omitted,
+					fmt.Sprintf("%s/%s: omitted (%v)\n", pat.Name, kind, err))
+				continue
+			}
 			cfg := baseConfig(s)
 			cfg.Scheme = kind
 			cfg.Pattern = pat
 			cfg.VCs = vcs
 			cfg.Seed = seed
-			if _, err := schemes.New(kind, pat, vcs, -1); err != nil {
-				fmt.Fprintf(w, "%s/%s: omitted (%v)\n", pat.Name, kind, err)
-				continue
-			}
-			sr, err := Sweep(cfg, s.Rates, fmt.Sprintf("%s/%s", pat.Name, kind))
-			if err != nil {
-				return nil, err
-			}
-			series = append(series, sr)
+			jobs = append(jobs, sweepJob{cfg: cfg, name: fmt.Sprintf("%s/%s", pat.Name, kind)})
 		}
+		groups[pi].end = len(jobs)
+	}
+	results, err := runSweeps(jobs, s.Rates)
+	if err != nil {
+		return nil, err
+	}
+	var all []stats.Series
+	for pi, pat := range pats {
+		for _, line := range groups[pi].omitted {
+			fmt.Fprint(w, line)
+		}
+		series := results[groups[pi].start:groups[pi].end]
 		fmt.Fprint(w, stats.FormatBNF(fmt.Sprintf("-- %s --", pat.Name), series))
 		fmt.Fprint(w, stats.PlotBNF(fmt.Sprintf("-- %s (BNF plot) --", pat.Name), series, 64, 16, 0))
 		all = append(all, series...)
@@ -196,7 +283,7 @@ func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
 		{schemes.PR, -1, false},
 		{schemes.PR, netiface.QueuePerType, true},
 	}
-	var series []stats.Series
+	jobs := make([]sweepJob, 0, len(variants))
 	for _, v := range variants {
 		cfg := baseConfig(s)
 		cfg.Scheme = v.kind
@@ -204,11 +291,11 @@ func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
 		cfg.VCs = 16
 		cfg.QueueMode = v.mode
 		cfg.Seed = 11
-		sr, err := Sweep(cfg, s.Rates, schemeLabel(v.kind, v.qa))
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, sr)
+		jobs = append(jobs, sweepJob{cfg: cfg, name: schemeLabel(v.kind, v.qa)})
+	}
+	series, err := runSweeps(jobs, s.Rates)
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprint(w, stats.FormatBNF("-- PAT271 / 16 VC queue ablation --", series))
 	fmt.Fprint(w, stats.PlotBNF("-- PAT271 / 16 VC queue ablation (BNF plot) --", series, 64, 16, 0))
@@ -221,24 +308,31 @@ func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
 func DeadlockFrequency(w io.Writer, s Scale) error {
 	fmt.Fprintf(w, "=== Deadlock frequency vs load (PAT271, 4 VCs, scale=%s) ===\n", s.Name)
 	fmt.Fprintf(w, "%-6s %10s %12s %10s %10s %12s\n", "scheme", "applied", "throughput", "recov", "cwg-knots", "norm-dlk")
-	for _, kind := range []schemes.Kind{schemes.DR, schemes.PR} {
-		for _, r := range s.Rates {
-			cfg := baseConfig(s)
-			cfg.Scheme = kind
-			cfg.Pattern = protocol.PAT271
-			cfg.VCs = 4
-			cfg.Rate = r
-			cfg.Seed = 21
-			n, err := network.New(cfg)
-			if err != nil {
-				return err
-			}
-			n.Run()
-			st := n.Stats
-			recov := st.Deflections + st.Rescues
-			fmt.Fprintf(w, "%-6s %10.4f %12.4f %10d %10d %12.6f\n",
-				kind, r, st.Throughput(), recov, st.CWGDeadlocks, st.NormalizedDeadlocks())
+	kinds := []schemes.Kind{schemes.DR, schemes.PR}
+	rows, err := mapOrdered(Parallelism(), len(kinds)*len(s.Rates), func(i int) (string, error) {
+		kind := kinds[i/len(s.Rates)]
+		r := s.Rates[i%len(s.Rates)]
+		cfg := baseConfig(s)
+		cfg.Scheme = kind
+		cfg.Pattern = protocol.PAT271
+		cfg.VCs = 4
+		cfg.Rate = r
+		cfg.Seed = 21
+		n, err := network.New(cfg)
+		if err != nil {
+			return "", err
 		}
+		n.Run()
+		st := n.Stats
+		recov := st.Deflections + st.Rescues
+		return fmt.Sprintf("%-6s %10.4f %12.4f %10d %10d %12.6f\n",
+			kind, r, st.Throughput(), recov, st.CWGDeadlocks, st.NormalizedDeadlocks()), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprint(w, row)
 	}
 	return nil
 }

@@ -28,7 +28,8 @@ var paperTable1 = map[string][3]float64{
 func Table1(w io.Writer, s Scale, seed uint64) error {
 	fmt.Fprintln(w, "=== Table 1: response types to request messages (16 processors, MSI) ===")
 	fmt.Fprintf(w, "%-8s %28s %28s\n", "", "measured (direct/inval/fwd)", "paper    (direct/inval/fwd)")
-	for _, app := range tracegen.Apps {
+	rows, err := mapOrdered(Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
+		app := tracegen.Apps[ai]
 		g := tracegen.NewGenerator(app, 16, seed)
 		tr := g.Generate(s.TraceCycles)
 		sys := mustCoherence(16)
@@ -37,8 +38,14 @@ func Table1(w io.Writer, s Scale, seed uint64) error {
 		}
 		d, i, f := sys.Mix()
 		p := paperTable1[app.Name]
-		fmt.Fprintf(w, "%-8s %9.1f%% %7.1f%% %7.1f%%  %9.1f%% %7.1f%% %7.1f%%\n",
-			app.Name, 100*d, 100*i, 100*f, 100*p[0], 100*p[1], 100*p[2])
+		return fmt.Sprintf("%-8s %9.1f%% %7.1f%% %7.1f%%  %9.1f%% %7.1f%% %7.1f%%\n",
+			app.Name, 100*d, 100*i, 100*f, 100*p[0], 100*p[1], 100*p[2]), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprint(w, row)
 	}
 	return nil
 }
@@ -108,14 +115,21 @@ func runTrace(app tracegen.App, s Scale, radix []int, bristling int, seed uint64
 // benchmark applications on the 4x4 torus.
 func Fig6(w io.Writer, s Scale, seed uint64) error {
 	fmt.Fprintln(w, "=== Figure 6: load rate distributions (4x4 torus, MSI traces) ===")
-	for _, app := range tracegen.Apps {
+	blocks, err := mapOrdered(Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
+		app := tracegen.Apps[ai]
 		_, hist, err := runTrace(app, s, []int{4, 4}, 1, seed)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Fprint(w, hist.Format(app.Name))
-		fmt.Fprintf(w, "  under 5%% of capacity: %.1f%% of execution time\n",
-			100*hist.CumulativeBelow(0.05))
+		return hist.Format(app.Name) + fmt.Sprintf(
+			"  under 5%% of capacity: %.1f%% of execution time\n",
+			100*hist.CumulativeBelow(0.05)), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		fmt.Fprint(w, b)
 	}
 	return nil
 }
@@ -136,17 +150,23 @@ func TraceDeadlocks(w io.Writer, s Scale, seed uint64) error {
 		{[]int{2, 4}, 2, "2x4 b=2"},
 		{[]int{2, 2}, 4, "2x2 b=4"},
 	}
-	for _, app := range tracegen.Apps {
-		for _, sh := range shapes {
-			n, _, err := runTrace(app, s, sh.radix, sh.bristling, seed)
-			if err != nil {
-				return err
-			}
-			st := n.Stats
-			avgLoad := float64(st.InjectedFlits) / float64(n.Torus.Endpoints()) / float64(s.TraceCycles)
-			fmt.Fprintf(w, "%-8s %-10s %9.1f%% %10d %10d %10d\n",
-				app.Name, sh.label, 100*avgLoad, st.CWGDeadlocks, st.Rescues, st.DeliveredMsgs)
+	rows, err := mapOrdered(Parallelism(), len(tracegen.Apps)*len(shapes), func(i int) (string, error) {
+		app := tracegen.Apps[i/len(shapes)]
+		sh := shapes[i%len(shapes)]
+		n, _, err := runTrace(app, s, sh.radix, sh.bristling, seed)
+		if err != nil {
+			return "", err
 		}
+		st := n.Stats
+		avgLoad := float64(st.InjectedFlits) / float64(n.Torus.Endpoints()) / float64(s.TraceCycles)
+		return fmt.Sprintf("%-8s %-10s %9.1f%% %10d %10d %10d\n",
+			app.Name, sh.label, 100*avgLoad, st.CWGDeadlocks, st.Rescues, st.DeliveredMsgs), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprint(w, row)
 	}
 	return nil
 }

@@ -23,6 +23,9 @@ type Packet struct {
 	// its normal-network resources are drained/released by the rescue
 	// machinery.
 	BeingRescued bool
+
+	// pooled guards against double-free through a Pool.
+	pooled bool
 }
 
 // Flit is a single flow-control unit in some buffer. Flits carry their

@@ -1,0 +1,76 @@
+package message
+
+// Pool is a per-simulation free list recycling the heap objects the
+// simulation hot path churns through: Messages (one per protocol hop) and
+// Packets (one per injected message). Flits need no pool — they are value
+// types embedded in channel buffers and queues.
+//
+// A simulation steps single-threaded, so the pool needs no locking; each
+// Network owns its own pool, which keeps concurrently running sweep points
+// independent. A nil *Pool is valid on every method and falls back to plain
+// allocation, so components constructed without one (tests, tools) work
+// unchanged.
+//
+// Recycling discipline: an object may be Put only once every live reference
+// to it is gone — for a Message, after the servicing/sinking site that
+// consumes it returns; for a Packet, after its tail flit has been delivered
+// and its ejection VC released. Both types carry a pooled guard that panics
+// on double-Put, turning lifetime bugs into immediate failures instead of
+// silent state corruption.
+type Pool struct {
+	msgs []*Message
+	pkts []*Packet
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// NewMessage returns a fully reset message, recycled when available,
+// equivalent to message.NewMessage.
+func (p *Pool) NewMessage(txn TxnID, typ Type, hop, src, dst, flits int, created int64) *Message {
+	if p == nil || len(p.msgs) == 0 {
+		return NewMessage(txn, typ, hop, src, dst, flits, created)
+	}
+	m := p.msgs[len(p.msgs)-1]
+	p.msgs = p.msgs[:len(p.msgs)-1]
+	*m = Message{
+		Txn: txn, Type: typ, Hop: hop, Src: src, Dst: dst,
+		Flits: flits, Created: created, Injected: -1, Delivered: -1,
+	}
+	return m
+}
+
+// PutMessage returns a consumed message to the free list.
+func (p *Pool) PutMessage(m *Message) {
+	if p == nil || m == nil {
+		return
+	}
+	if m.pooled {
+		panic("message: double PutMessage")
+	}
+	m.pooled = true
+	p.msgs = append(p.msgs, m)
+}
+
+// NewPacket returns a reset packet wrapping m, recycled when available.
+func (p *Pool) NewPacket(id PacketID, m *Message) *Packet {
+	if p == nil || len(p.pkts) == 0 {
+		return &Packet{ID: id, Msg: m}
+	}
+	pk := p.pkts[len(p.pkts)-1]
+	p.pkts = p.pkts[:len(p.pkts)-1]
+	*pk = Packet{ID: id, Msg: m}
+	return pk
+}
+
+// PutPacket returns a fully delivered packet to the free list.
+func (p *Pool) PutPacket(pk *Packet) {
+	if p == nil || pk == nil {
+		return
+	}
+	if pk.pooled {
+		panic("message: double PutPacket")
+	}
+	pk.pooled = true
+	p.pkts = append(p.pkts, pk)
+}

@@ -105,7 +105,10 @@ type Config struct {
 	Table  *protocol.Table
 	// NextPacketID allocates globally unique packet IDs.
 	NextPacketID func() message.PacketID
-	Hooks        Hooks
+	// Pool recycles message and packet objects; nil falls back to plain
+	// allocation.
+	Pool  *message.Pool
+	Hooks Hooks
 }
 
 type outEntry struct {
@@ -156,6 +159,13 @@ type NI struct {
 	ctrlRR int
 	injRR  int
 	ejRR   int
+
+	// subsBuf and sinkBuf are retained scratch slices for subordinate
+	// generation (controller and MSHR sink paths respectively — they can be
+	// live at the same time, hence two), keeping message servicing
+	// allocation-free.
+	subsBuf []*message.Message
+	sinkBuf []*message.Message
 
 	// WantRescue is set by the handling scheme when an endpoint detection
 	// fired and progressive recovery should capture the token here.
@@ -247,10 +257,29 @@ func (n *NI) Head(q int) (*message.Message, bool) {
 // PopHead removes and returns the head of input queue q. Recovery actions
 // (deflection, rescue initiation) use this; it panics on an empty queue.
 func (n *NI) PopHead(q int) *message.Message {
-	m := n.inQ[q][0]
-	n.inQ[q] = n.inQ[q][1:]
+	return n.popInQ(q)
+}
+
+// popInQ removes the head of input queue q in place. Shifting down (rather
+// than reslicing off the front) preserves the backing array's capacity so
+// steady-state queue churn never reallocates.
+func (n *NI) popInQ(q int) *message.Message {
+	s := n.inQ[q]
+	m := s[0]
+	copy(s, s[1:])
+	s[len(s)-1] = nil
+	n.inQ[q] = s[:len(s)-1]
 	n.inFullNoted[q] = false
 	return m
+}
+
+// popOutQ removes the head of output queue q in place, like popInQ.
+func (n *NI) popOutQ(q int) {
+	s := n.outQ[q]
+	copy(s, s[1:])
+	s[len(s)-1] = outEntry{}
+	n.outQ[q] = s[:len(s)-1]
+	n.outFullNoted[q] = false
 }
 
 // EnqueueOut places m directly into its output queue, creating its packet.
@@ -261,7 +290,7 @@ func (n *NI) EnqueueOut(m *message.Message) {
 	if !n.OutSpace(q, 1) {
 		panic("netiface: EnqueueOut without space")
 	}
-	pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: m}
+	pkt := n.Cfg.Pool.NewPacket(n.Cfg.NextPacketID(), m)
 	n.outQ[q] = append(n.outQ[q], outEntry{msg: m, pkt: pkt})
 }
 
@@ -322,10 +351,13 @@ func (n *NI) sinkPreallocated(m *message.Message, now int64) {
 				n.Cfg.Hooks.TxnComplete(txn, now)
 			}
 			n.Cfg.Table.Remove(txn.ID)
+			n.Cfg.Engine.ReleaseTxn(txn)
 		}
+		n.Cfg.Pool.PutMessage(m)
 		return
 	}
-	subs := n.Cfg.Engine.Subordinates(txn, m, now)
+	subs := n.Cfg.Engine.AppendSubordinates(n.sinkBuf[:0], txn, m, now)
+	n.sinkBuf = subs
 	readyAt := now
 	if m.Nack && n.Cfg.RetryBackoff > 0 {
 		// Exponential backoff with deterministic per-transaction jitter:
@@ -340,6 +372,7 @@ func (n *NI) sinkPreallocated(m *message.Message, now int64) {
 	for _, sub := range subs {
 		n.pendingGen = append(n.pendingGen, pendingEntry{msg: sub, readyAt: readyAt})
 	}
+	n.Cfg.Pool.PutMessage(m)
 }
 
 // Step runs one NI cycle.
@@ -381,6 +414,9 @@ func (n *NI) drainEjection(now int64) {
 		f.Pkt.ArrivedFlits++
 		if f.Tail() {
 			n.DeliverMessage(m, now, !m.Preallocated)
+			// The tail dequeue released the ejection VC, so no live
+			// reference to the packet remains.
+			n.Cfg.Pool.PutPacket(f.Pkt)
 		}
 		n.ejRR++
 		return
@@ -399,7 +435,8 @@ func (n *NI) controller(now int64) {
 		n.ctrlMsg = nil
 		n.ctrlFromRescue = false
 		txn := n.Cfg.Table.Get(m.Txn)
-		subs := n.Cfg.Engine.Subordinates(txn, m, now)
+		subs := n.Cfg.Engine.AppendSubordinates(n.subsBuf[:0], txn, m, now)
+		n.subsBuf = subs
 		if fromRescue {
 			if n.Cfg.Hooks.RescueServiced != nil {
 				n.Cfg.Hooks.RescueServiced(n, m, subs, now)
@@ -409,9 +446,10 @@ func (n *NI) controller(now int64) {
 			for _, sub := range subs {
 				q := n.queueOf(sub)
 				n.outRes[q]--
-				pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: sub}
+				pkt := n.Cfg.Pool.NewPacket(n.Cfg.NextPacketID(), sub)
 				n.outQ[q] = append(n.outQ[q], outEntry{msg: sub, pkt: pkt})
 			}
+			n.Cfg.Pool.PutMessage(m)
 		}
 	}
 	if n.ctrlMsg != nil || now < n.ctrlBusyUntil {
@@ -439,8 +477,7 @@ func (n *NI) controller(now int64) {
 			// Terminating messages never occupy input queues (they sink
 			// via preallocation); treat defensively as directly
 			// consumable.
-			n.inQ[q] = n.inQ[q][1:]
-			n.inFullNoted[q] = false
+			n.Cfg.Pool.PutMessage(n.popInQ(q))
 			continue
 		}
 		subQ := n.Cfg.QueueIndex(typ, false)
@@ -449,8 +486,7 @@ func (n *NI) controller(now int64) {
 			continue
 		}
 		n.outRes[subQ] += count
-		n.inQ[q] = n.inQ[q][1:]
-		n.inFullNoted[q] = false
+		n.popInQ(q)
 		n.ctrlMsg = m
 		n.ctrlBusyUntil = now + int64(n.Cfg.ServiceTime)
 		n.ctrlRR = q + 1
@@ -469,7 +505,7 @@ func (n *NI) drainPendingGen(now int64) {
 	for _, e := range n.pendingGen {
 		q := n.queueOf(e.msg)
 		if now >= e.readyAt && n.OutSpace(q, 1) {
-			pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: e.msg}
+			pkt := n.Cfg.Pool.NewPacket(n.Cfg.NextPacketID(), e.msg)
 			n.outQ[q] = append(n.outQ[q], outEntry{msg: e.msg, pkt: pkt})
 		} else {
 			if now >= e.readyAt {
@@ -490,9 +526,11 @@ func (n *NI) drainSource(now int64) {
 			n.noteQueueFull(q, now, true)
 			return
 		}
-		pkt := &message.Packet{ID: n.Cfg.NextPacketID(), Msg: m}
+		pkt := n.Cfg.Pool.NewPacket(n.Cfg.NextPacketID(), m)
 		n.outQ[q] = append(n.outQ[q], outEntry{msg: m, pkt: pkt})
-		n.sourceQ = n.sourceQ[1:]
+		copy(n.sourceQ, n.sourceQ[1:])
+		n.sourceQ[len(n.sourceQ)-1] = nil
+		n.sourceQ = n.sourceQ[:len(n.sourceQ)-1]
 	}
 	_ = now
 }
@@ -542,8 +580,7 @@ func (n *NI) inject(now int64) {
 		vc.Stage(message.Flit{Pkt: e.pkt, Idx: e.pkt.SentFlits})
 		e.pkt.SentFlits++
 		if e.pkt.SentFlits == e.msg.Flits {
-			n.outQ[q] = n.outQ[q][1:]
-			n.outFullNoted[q] = false
+			n.popOutQ(q)
 		}
 		n.injRR = q + 1
 		return
@@ -559,8 +596,7 @@ func (n *NI) inject(now int64) {
 func (n *NI) AbortInjection(pkt *message.Packet) bool {
 	for q := 0; q < n.Cfg.Queues; q++ {
 		if len(n.outQ[q]) > 0 && n.outQ[q][0].pkt == pkt {
-			n.outQ[q] = n.outQ[q][1:]
-			n.outFullNoted[q] = false
+			n.popOutQ(q)
 			pkt.SentFlits = pkt.Msg.Flits
 			return true
 		}

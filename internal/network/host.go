@@ -45,9 +45,14 @@ func (n *Network) SubQueueOf(m *message.Message) (int, int, bool) {
 	return n.Scheme.QueueIndex(typ, false), count, true
 }
 
-// InjectVCsOf implements deadlock.Host.
+// InjectVCsOf implements deadlock.Host and backs the NI InjectVCs hook,
+// serving the precomputed per-(type, backoff) VC index lists.
 func (n *Network) InjectVCsOf(m *message.Message) []int {
-	return n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack).All()
+	b := 0
+	if m.Backoff || m.Nack {
+		b = 1
+	}
+	return n.injectVCs[m.Type][b]
 }
 
 // VCsPerChannel implements deadlock.Host.

@@ -30,6 +30,15 @@ func checkInvariants(t *testing.T, n *Network, now int64) {
 			}
 		}
 	}
+	// The incremental occupancy counter behind Quiescent() must agree with a
+	// full scan of committed flits at every cycle boundary.
+	var scan int64
+	for _, ch := range n.Channels {
+		scan += int64(ch.Occupied())
+	}
+	if got := n.OccupiedFlits(); got != scan {
+		t.Fatalf("cycle %d: occupancy counter %d != channel scan %d", now, got, scan)
+	}
 }
 
 func TestWormholeInvariantsUnderLoad(t *testing.T) {

@@ -46,6 +46,25 @@ type Network struct {
 	RNG       *sim.RNG
 	nextPktID message.PacketID
 
+	// Pool recycles message/packet objects across the whole system; each
+	// network owns its own so concurrently running networks stay
+	// independent.
+	Pool *message.Pool
+
+	// candBuf is the retained scratch the routing policy fills each call;
+	// the simulation is single-threaded and every caller consumes the
+	// candidate list before requesting another, so one buffer suffices.
+	candBuf []routing.PortVC
+
+	// injectVCs caches Scheme.VCSetFor(...).All() per (type, backoff) so
+	// the NI injection path never materializes the list.
+	injectVCs [message.NumTypes][2][]int
+
+	// occupied counts committed flits across every channel, maintained
+	// incrementally by the VCs (see router.Channel.SetOccupancyCounter), so
+	// Quiescent tests one integer instead of scanning all buffers.
+	occupied int64
+
 	// bus, sampler and episodes are the optional observability layer,
 	// installed by AttachObs/AttachSampler/AttachEpisodes (obs.go). All nil
 	// in a plain run: every emission site guards with one nil check.
@@ -111,9 +130,19 @@ func newBare(cfg Config) (*Network, error) {
 		Clock:  sim.NewClock(cfg.Warmup, cfg.Measure, cfg.MaxDrain),
 		Stats:  stats.NewCollector(tor.Endpoints()),
 		RNG:    sim.NewRNG(cfg.Seed),
+		Pool:   message.NewPool(),
+	}
+	eng.SetPool(n.Pool)
+	for t := message.Type(0); t < message.NumTypes; t++ {
+		for b := 0; b < 2; b++ {
+			n.injectVCs[t][b] = sch.VCSetFor(t, b == 1).All()
+		}
 	}
 	n.Stats.Cycles = cfg.Measure
 	n.build()
+	for _, ch := range n.Channels {
+		ch.SetOccupancyCounter(&n.occupied)
+	}
 	if cfg.Scheme == schemes.PR {
 		n.Token = token.NewManager(tor, cfg.TokenHopCycles)
 		n.Rescue = core.New(core.Config{
@@ -202,12 +231,11 @@ func (n *Network) niConfig(ep int) netiface.Config {
 		ServiceTime:     n.Cfg.ServiceTime,
 		DetectThreshold: n.Cfg.DetectThreshold,
 		RetryBackoff:    n.Cfg.RetryBackoff,
-		InjectVCs: func(m *message.Message) []int {
-			return n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack).All()
-		},
+		InjectVCs:    n.InjectVCsOf,
 		Engine:       n.Engine,
 		Table:        n.Table,
 		NextPacketID: n.newPacketID,
+		Pool:         n.Pool,
 		Hooks: netiface.Hooks{
 			Injected:       n.onInjected,
 			Delivered:      n.onDelivered,
@@ -230,7 +258,8 @@ func (n *Network) Candidates(r topology.NodeID, pkt *message.Packet) []routing.P
 	dst := n.Torus.EndpointByID(m.Dst)
 	mode := n.Scheme.RoutingMode(m.Type, m.Backoff || m.Nack)
 	set := n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack)
-	return routing.Candidates(n.Torus, mode, r, dst.Router, dst.Local, set)
+	n.candBuf = routing.AppendCandidates(n.candBuf[:0], n.Torus, mode, r, dst.Router, dst.Local, set)
+	return n.candBuf
 }
 
 // inWindow reports whether cycle t falls inside the measurement window.
@@ -322,6 +351,7 @@ func (n *Network) nackHead(ni *netiface.NI, q int, now int64) {
 	if n.episodes != nil {
 		n.episodes.Resolved(now, "nack")
 	}
+	n.Pool.PutMessage(m) // the killed head is fully replaced by the NACK
 }
 
 // deflect performs the Origin2000 backoff action: pop the head request whose
@@ -360,6 +390,7 @@ func (n *Network) deflect(ni *netiface.NI, q int, now int64) {
 	if n.episodes != nil {
 		n.episodes.Resolved(now, "deflection")
 	}
+	n.Pool.PutMessage(m) // the deflected head is fully replaced by the BRP
 }
 
 // onRescueServiced forwards controller completions of rescue services to the
@@ -403,18 +434,14 @@ func (n *Network) Step() {
 	n.Clock.Tick()
 }
 
-// Quiescent reports whether no work remains anywhere in the system.
+// Quiescent reports whether no work remains anywhere in the system. Channel
+// emptiness is the incrementally maintained occupancy counter, not a scan.
 func (n *Network) Quiescent() bool {
-	if n.Table.Len() > 0 {
+	if n.occupied > 0 || n.Table.Len() > 0 {
 		return false
 	}
 	for _, ni := range n.NIs {
 		if !ni.Quiescent() {
-			return false
-		}
-	}
-	for _, c := range n.Channels {
-		if c.Occupied() > 0 {
 			return false
 		}
 	}
@@ -423,6 +450,10 @@ func (n *Network) Quiescent() bool {
 	}
 	return true
 }
+
+// OccupiedFlits returns the incrementally maintained count of committed
+// flits buffered across every channel (tests assert it against a full scan).
+func (n *Network) OccupiedFlits() int64 { return n.occupied }
 
 // Run executes the configured phases: warmup, measurement, and drain (which
 // ends early once the system is quiescent). It returns the collector.

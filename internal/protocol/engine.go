@@ -69,7 +69,18 @@ type Engine struct {
 	Pattern *Pattern
 	Lengths Lengths
 	nextTxn message.TxnID
+
+	// pool, when set, recycles message objects; a nil pool means plain
+	// allocation (message.Pool methods are nil-safe).
+	pool *message.Pool
+	// freeTxns recycles completed Transaction objects, including their
+	// Thirds backing arrays.
+	freeTxns []*Transaction
 }
+
+// SetPool installs a message free list; subsequently built messages are
+// recycled through it.
+func (e *Engine) SetPool(p *message.Pool) { e.pool = p }
 
 // NewEngine builds an engine for a validated pattern.
 func NewEngine(p *Pattern, l Lengths) (*Engine, error) {
@@ -108,12 +119,33 @@ func (e *Engine) NewTransaction(tmpl *Template, requester, home int, thirds []in
 		panic(fmt.Sprintf("protocol: template %s needs %d thirds, got %d", tmpl.Name, width, len(thirds)))
 	}
 	e.nextTxn++
-	return &Transaction{
+	var tr *Transaction
+	var th []int
+	if n := len(e.freeTxns); n > 0 {
+		tr = e.freeTxns[n-1]
+		e.freeTxns = e.freeTxns[:n-1]
+		th = append(tr.Thirds[:0], thirds...) // reuse the backing array
+	} else {
+		tr = new(Transaction)
+		th = append([]int(nil), thirds...)
+	}
+	*tr = Transaction{
 		ID: e.nextTxn, Tmpl: tmpl,
 		Requester: requester, Home: home,
-		Thirds:  append([]int(nil), thirds...),
+		Thirds:  th,
 		Created: now, FinishedAt: -1,
 	}
+	return tr
+}
+
+// ReleaseTxn returns a transaction to the engine's free list. Callers must
+// have removed every live reference first (in the simulator: after the
+// transaction table entry is deleted on completion).
+func (e *Engine) ReleaseTxn(t *Transaction) {
+	if e == nil || t == nil {
+		return
+	}
+	e.freeTxns = append(e.freeTxns, t)
 }
 
 // endpointFor resolves a role to an endpoint for a given branch.
@@ -148,7 +180,7 @@ func stepPreallocated(tmpl *Template, step int) bool {
 func (e *Engine) buildStep(t *Transaction, step, branch int, src int, now int64) *message.Message {
 	s := t.Tmpl.Steps[step]
 	dst := t.endpointFor(s.Dest, branch)
-	m := message.NewMessage(t.ID, s.Type, step, src, dst, e.Lengths.For(e.Pattern.Style, s.Type), now)
+	m := e.pool.NewMessage(t.ID, s.Type, step, src, dst, e.Lengths.For(e.Pattern.Style, s.Type), now)
 	m.Branch = branch
 	m.Preallocated = stepPreallocated(t.Tmpl, step)
 	t.Messages++
@@ -173,44 +205,47 @@ func (e *Engine) IsTerminating(t *Transaction, m *message.Message) bool {
 // the requester. For the step before a fanout point this is one message per
 // branch. For a terminating message it is nil.
 func (e *Engine) Subordinates(t *Transaction, m *message.Message, now int64) []*message.Message {
+	return e.AppendSubordinates(nil, t, m, now)
+}
+
+// AppendSubordinates appends the messages Subordinates would return to out
+// and returns the extended slice. Hot-path callers pass a retained scratch
+// slice truncated to length 0 so servicing a message allocates nothing.
+func (e *Engine) AppendSubordinates(out []*message.Message, t *Transaction, m *message.Message, now int64) []*message.Message {
 	if m.Nack {
-		return e.reissueAfterNack(t, m, now)
+		return append(out, e.reissueAfterNack(t, m, now))
 	}
 	if m.Backoff {
-		out := e.issueStep(t, m.ReissueStep, t.Requester, now)
-		for _, s := range out {
+		start := len(out)
+		out = e.appendStep(out, t, m.ReissueStep, t.Requester, now)
+		for _, s := range out[start:] {
 			s.Deflected = true
 		}
 		return out
 	}
 	next := m.Hop + 1
 	if next >= len(t.Tmpl.Steps) {
-		return nil
+		return out
 	}
 	fi, _ := t.Tmpl.FanoutIndex()
 	if fi >= 0 && next > fi {
 		// Past the fanout point: continue only this branch.
-		return []*message.Message{e.buildStep(t, next, m.Branch, m.Dst, now)}
+		return append(out, e.buildStep(t, next, m.Branch, m.Dst, now))
 	}
-	return e.issueStep(t, next, m.Dst, now)
+	return e.appendStep(out, t, next, m.Dst, now)
 }
 
-// issueStep materializes step `step` from sender src, fanning out if step is
+// appendStep materializes step `step` from sender src, fanning out if step is
 // the fanout point.
-func (e *Engine) issueStep(t *Transaction, step, src int, now int64) []*message.Message {
+func (e *Engine) appendStep(out []*message.Message, t *Transaction, step, src int, now int64) []*message.Message {
 	fi, width := t.Tmpl.FanoutIndex()
 	if fi == step && width > 1 {
-		out := make([]*message.Message, width)
 		for b := 0; b < width; b++ {
-			out[b] = e.buildStep(t, step, b, src, now)
+			out = append(out, e.buildStep(t, step, b, src, now))
 		}
 		return out
 	}
-	branch := 0
-	if fi >= 0 && step > fi {
-		branch = 0 // linear continuation of branch 0; callers past fanout use Subordinates
-	}
-	return []*message.Message{e.buildStep(t, step, branch, src, now)}
+	return append(out, e.buildStep(t, step, 0, src, now))
 }
 
 // Backoff converts the servicing of m at the home into a backoff reply (BRP)
@@ -220,7 +255,7 @@ func (e *Engine) issueStep(t *Transaction, step, src int, now int64) []*message.
 // (the Origin2000 preallocates reply-queue space for all outstanding
 // requests).
 func (e *Engine) Backoff(t *Transaction, m *message.Message, now int64) *message.Message {
-	brp := message.NewMessage(t.ID, message.M2, m.Hop, m.Dst, t.Requester, e.Lengths.Backoff, now)
+	brp := e.pool.NewMessage(t.ID, message.M2, m.Hop, m.Dst, t.Requester, e.Lengths.Backoff, now)
 	brp.Backoff = true
 	brp.ReissueStep = m.Hop + 1
 	brp.Preallocated = true
@@ -238,7 +273,7 @@ func (e *Engine) Backoff(t *Transaction, m *message.Message, now int64) *message
 // it re-issues the killed step unchanged. Unlike deflection, nothing is
 // shed — the transaction pays a full NACK round plus a retraversal.
 func (e *Engine) Nack(t *Transaction, m *message.Message, now int64) *message.Message {
-	nack := message.NewMessage(t.ID, message.M2, m.Hop, m.Dst, m.Src, e.Lengths.Backoff, now)
+	nack := e.pool.NewMessage(t.ID, message.M2, m.Hop, m.Dst, m.Src, e.Lengths.Backoff, now)
 	nack.Nack = true
 	nack.ReissueStep = m.Hop
 	nack.Branch = m.Branch
@@ -249,12 +284,12 @@ func (e *Engine) Nack(t *Transaction, m *message.Message, now int64) *message.Me
 }
 
 // reissueAfterNack rebuilds the killed step from its original sender.
-func (e *Engine) reissueAfterNack(t *Transaction, nack *message.Message, now int64) []*message.Message {
+func (e *Engine) reissueAfterNack(t *Transaction, nack *message.Message, now int64) *message.Message {
 	step := nack.ReissueStep
 	retry := e.buildStep(t, step, nack.Branch, nack.Dst, now)
 	retry.Deflected = true // counted as recovery-induced traffic
 	retry.Retries = nack.Retries
-	return []*message.Message{retry}
+	return retry
 }
 
 // WouldGenerateClass returns the class (under the pattern's style) of the

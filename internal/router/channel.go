@@ -77,6 +77,11 @@ type VC struct {
 	// blocked header's stall has been reported, cleared on allocation
 	// success or when the buffer drains.
 	stallNoted bool
+
+	// occ, when non-nil, points at a network-wide committed-flit counter
+	// maintained incrementally so quiescence checks need not scan every
+	// channel. It counts committed (buf) flits only, matching Occupied.
+	occ *int64
 }
 
 // Cap returns the buffer capacity in flits.
@@ -113,6 +118,9 @@ func (v *VC) Commit(now int64) {
 		if len(v.buf) == 0 {
 			v.LastMove = now
 		}
+		if v.occ != nil {
+			*v.occ += int64(len(v.staged))
+		}
 		v.buf = append(v.buf, v.staged...)
 		v.staged = v.staged[:0]
 	}
@@ -127,6 +135,9 @@ func (v *VC) Dequeue(now int64) message.Flit {
 	f := v.buf[0]
 	copy(v.buf, v.buf[1:])
 	v.buf = v.buf[:len(v.buf)-1]
+	if v.occ != nil {
+		*v.occ--
+	}
 	v.LastMove = now
 	if f.Tail() {
 		v.Owner = nil
@@ -146,6 +157,11 @@ func (v *VC) Evacuate(pkt *message.Packet, now int64) int {
 		return 0
 	}
 	n := len(v.buf) + len(v.staged)
+	if v.occ != nil {
+		// Staged flits were never counted (Commit has not run on them),
+		// so only the committed ones leave the tally.
+		*v.occ -= int64(len(v.buf))
+	}
 	v.buf = v.buf[:0]
 	v.staged = v.staged[:0]
 	v.Owner = nil
@@ -208,6 +224,16 @@ func (c *Channel) String() string {
 func (c *Channel) Commit(now int64) {
 	for _, v := range c.VCs {
 		v.Commit(now)
+	}
+}
+
+// SetOccupancyCounter points every VC of this channel at a shared
+// committed-flit counter. The network wires one counter across all channels
+// after build so Quiescent can test a single integer instead of scanning
+// every buffer.
+func (c *Channel) SetOccupancyCounter(occ *int64) {
+	for _, v := range c.VCs {
+		v.occ = occ
 	}
 }
 

@@ -60,6 +60,12 @@ type Router struct {
 	pickRR int
 	saRR   []int
 	moved  []bool // per input channel: already forwarded a flit this cycle
+
+	// reqs and scanBuf are per-router scratch slices reused every cycle so
+	// that switch arbitration and blocked-packet scans allocate nothing at
+	// steady state.
+	reqs    []*VC
+	scanBuf []*message.Packet
 }
 
 // New builds a router shell; the network wires Inputs/Outputs afterwards.
@@ -82,9 +88,10 @@ func (r *Router) outputVC(c routing.PortVC) *VC {
 // pickCandidate chooses among free candidates: rotating over the free
 // non-escape (adaptive) ones so traffic spreads across the channel set, and
 // falling back to the first free escape candidate, preserving Duato's
-// adaptive-first preference.
+// adaptive-first preference. Two passes over the candidate list (count, then
+// select the rotation's pick) keep the stage allocation-free.
 func (r *Router) pickCandidate(cands []routing.PortVC) (routing.PortVC, bool) {
-	var freeAdaptive []routing.PortVC
+	freeAdaptive := 0
 	var escape routing.PortVC
 	haveEscape := false
 	for _, c := range cands {
@@ -98,11 +105,20 @@ func (r *Router) pickCandidate(cands []routing.PortVC) (routing.PortVC, bool) {
 			}
 			continue
 		}
-		freeAdaptive = append(freeAdaptive, c)
+		freeAdaptive++
 	}
-	if len(freeAdaptive) > 0 {
+	if freeAdaptive > 0 {
 		r.pickRR++
-		return freeAdaptive[r.pickRR%len(freeAdaptive)], true
+		k := r.pickRR % freeAdaptive
+		for _, c := range cands {
+			if c.Escape || r.outputVC(c).Owner != nil {
+				continue
+			}
+			if k == 0 {
+				return c, true
+			}
+			k--
+		}
 	}
 	if haveEscape {
 		return escape, true
@@ -160,7 +176,7 @@ func (r *Router) arbitrate(now int64) {
 		}
 		// Gather requesting input VCs: routed onto this output, flit
 		// ready, downstream space, input channel still idle this cycle.
-		var reqs []*VC
+		reqs := r.reqs[:0]
 		for i, in := range r.Inputs {
 			if in == nil || r.moved[i] {
 				continue
@@ -178,6 +194,7 @@ func (r *Router) arbitrate(now int64) {
 				reqs = append(reqs, vc)
 			}
 		}
+		r.reqs = reqs // keep any grown capacity for the next output/cycle
 		if len(reqs) == 0 {
 			continue
 		}
@@ -227,10 +244,11 @@ func (r *Router) RescuablePackets(now int64, timeout int64) []*message.Packet {
 }
 
 // scanInputs collects distinct packets whose header fronts an input VC
-// matching pred.
+// matching pred. The result aliases a per-router scratch slice (valid until
+// the next scan); a worm spans few VCs, so linear dedup beats a map and
+// keeps the per-token-arrival scan allocation-free.
 func (r *Router) scanInputs(pred func(*VC) bool) []*message.Packet {
-	var out []*message.Packet
-	seen := map[*message.Packet]bool{}
+	out := r.scanBuf[:0]
 	for _, in := range r.Inputs {
 		if in == nil {
 			continue
@@ -243,11 +261,21 @@ func (r *Router) scanInputs(pred func(*VC) bool) []*message.Packet {
 			if !ok {
 				continue
 			}
-			if f.Head() && !f.Pkt.BeingRescued && !seen[f.Pkt] {
-				seen[f.Pkt] = true
+			if !f.Head() || f.Pkt.BeingRescued {
+				continue
+			}
+			dup := false
+			for _, p := range out {
+				if p == f.Pkt {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				out = append(out, f.Pkt)
 			}
 		}
 	}
+	r.scanBuf = out
 	return out
 }

@@ -87,8 +87,8 @@ func (s VCSet) All() []int {
 // dorStep returns the dimension-order next hop: the direction resolving the
 // lowest unresolved dimension, or ok=false at the destination router.
 func dorStep(t *topology.Torus, cur, dst topology.NodeID) (topology.Direction, bool) {
-	delta := t.Delta(cur, dst)
-	for dim, d := range delta {
+	for dim := 0; dim < t.Dims(); dim++ {
+		d := t.DeltaDim(cur, dst, dim)
 		if d > 0 {
 			return topology.Direction(2 * dim), true
 		}
@@ -109,7 +109,7 @@ func datelineVC(t *topology.Torus, cur, dst topology.NodeID, dir topology.Direct
 	if !t.Wrap {
 		return 0 // a mesh has no datelines; its single escape VC suffices
 	}
-	delta := t.Delta(cur, dst)[dir.Dim()]
+	delta := t.DeltaDim(cur, dst, dir.Dim())
 	hops := delta
 	if hops < 0 {
 		hops = -hops
@@ -133,11 +133,21 @@ func datelineVC(t *topology.Torus, cur, dst topology.NodeID, dir topology.Direct
 // destination router the only candidate is the ejection port, on which every
 // VC in the set is usable.
 func Candidates(t *topology.Torus, mode Mode, cur, dstRouter topology.NodeID, dstLocal int, set VCSet) []PortVC {
+	return AppendCandidates(nil, t, mode, cur, dstRouter, dstLocal, set)
+}
+
+// AppendCandidates appends the same ordered candidates Candidates returns to
+// out and returns the extended slice. Passing a scratch slice with retained
+// capacity (truncated to length 0) makes the per-cycle route-computation
+// stage allocation-free; the result aliases out and is only valid until the
+// scratch is reused.
+func AppendCandidates(out []PortVC, t *topology.Torus, mode Mode, cur, dstRouter topology.NodeID, dstLocal int, set VCSet) []PortVC {
 	if cur == dstRouter {
 		ej := EjectPort(t, dstLocal)
-		all := set.All()
-		out := make([]PortVC, 0, len(all))
-		for _, vc := range all {
+		for _, vc := range set.Adaptive {
+			out = append(out, PortVC{Port: ej, VC: vc})
+		}
+		for _, vc := range set.Escape {
 			out = append(out, PortVC{Port: ej, VC: vc})
 		}
 		return out
@@ -146,31 +156,39 @@ func Candidates(t *topology.Torus, mode Mode, cur, dstRouter topology.NodeID, ds
 	case DOR:
 		dir, ok := dorStep(t, cur, dstRouter)
 		if !ok {
-			return nil
+			return out
 		}
-		return []PortVC{{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true}}
+		return append(out, PortVC{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true})
 	case Duato:
-		dirs := t.MinimalDirections(cur, dstRouter)
-		out := make([]PortVC, 0, len(dirs)*len(set.Adaptive)+1)
 		for _, vc := range set.Adaptive {
-			for _, d := range dirs {
-				out = append(out, PortVC{Port: int(d), VC: vc})
-			}
+			out = appendMinimal(out, t, cur, dstRouter, vc)
 		}
 		dir, _ := dorStep(t, cur, dstRouter)
-		out = append(out, PortVC{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true})
-		return out
+		return append(out, PortVC{Port: int(dir), VC: set.Escape[datelineVC(t, cur, dstRouter, dir)], Escape: true})
 	case TFAR:
-		dirs := t.MinimalDirections(cur, dstRouter)
-		all := set.All()
-		out := make([]PortVC, 0, len(dirs)*len(all))
-		for _, vc := range all {
-			for _, d := range dirs {
-				out = append(out, PortVC{Port: int(d), VC: vc})
-			}
+		for _, vc := range set.Adaptive {
+			out = appendMinimal(out, t, cur, dstRouter, vc)
+		}
+		for _, vc := range set.Escape {
+			out = appendMinimal(out, t, cur, dstRouter, vc)
 		}
 		return out
 	default:
 		panic("routing: unknown mode")
 	}
+}
+
+// appendMinimal appends one candidate per minimal-path direction for a single
+// VC, in dimension order — the same order topology.MinimalDirections yields,
+// without materializing the direction list.
+func appendMinimal(out []PortVC, t *topology.Torus, cur, dst topology.NodeID, vc int) []PortVC {
+	for dim := 0; dim < t.Dims(); dim++ {
+		switch d := t.DeltaDim(cur, dst, dim); {
+		case d > 0:
+			out = append(out, PortVC{Port: 2 * dim, VC: vc})
+		case d < 0:
+			out = append(out, PortVC{Port: 2*dim + 1, VC: vc})
+		}
+	}
+	return out
 }

@@ -153,24 +153,30 @@ func (t *Torus) Neighbor(id NodeID, dir Direction) NodeID {
 	return NodeID(int(id) + (next-coord)*t.strides[dim])
 }
 
+// DeltaDim returns the signed minimal hop count from src to dst in dimension
+// i alone, preferring the plus direction on ties (k even and distance exactly
+// k/2). A positive value means travel in the plus direction. Unlike Delta it
+// allocates nothing, so the per-cycle routing stage can call it freely.
+func (t *Torus) DeltaDim(src, dst NodeID, i int) int {
+	k := t.Radix[i]
+	sc := (int(src) / t.strides[i]) % k
+	dc := (int(dst) / t.strides[i]) % k
+	if !t.Wrap {
+		return dc - sc
+	}
+	fwd := ((dc - sc) + k) % k
+	if fwd <= k-fwd {
+		return fwd
+	}
+	return fwd - k
+}
+
 // Delta returns, for each dimension, the signed minimal hop count from src to
-// dst, preferring the plus direction on ties (k even and distance exactly
-// k/2). A positive entry means travel in the plus direction.
+// dst. A positive entry means travel in the plus direction.
 func (t *Torus) Delta(src, dst NodeID) []int {
 	d := make([]int, len(t.Radix))
-	for i, k := range t.Radix {
-		sc := (int(src) / t.strides[i]) % k
-		dc := (int(dst) / t.strides[i]) % k
-		if !t.Wrap {
-			d[i] = dc - sc
-			continue
-		}
-		fwd := ((dc - sc) + k) % k
-		if fwd <= k-fwd {
-			d[i] = fwd
-		} else {
-			d[i] = fwd - k
-		}
+	for i := range t.Radix {
+		d[i] = t.DeltaDim(src, dst, i)
 	}
 	return d
 }
@@ -178,8 +184,8 @@ func (t *Torus) Delta(src, dst NodeID) []int {
 // Distance returns the minimal hop count between two routers.
 func (t *Torus) Distance(src, dst NodeID) int {
 	total := 0
-	for _, d := range t.Delta(src, dst) {
-		if d < 0 {
+	for i := range t.Radix {
+		if d := t.DeltaDim(src, dst, i); d < 0 {
 			total -= d
 		} else {
 			total += d
@@ -192,8 +198,8 @@ func (t *Torus) Distance(src, dst NodeID) int {
 // from src to dst. It is empty when src == dst.
 func (t *Torus) MinimalDirections(src, dst NodeID) []Direction {
 	var dirs []Direction
-	for i, d := range t.Delta(src, dst) {
-		switch {
+	for i := range t.Radix {
+		switch d := t.DeltaDim(src, dst, i); {
 		case d > 0:
 			dirs = append(dirs, Direction(2*i))
 		case d < 0:

@@ -49,6 +49,7 @@ type Synthetic struct {
 
 	outstanding []int
 	rngs        []*sim.RNG
+	thirdsBuf   []int // scratch for NewTransaction (the engine copies it)
 }
 
 // NewSynthetic builds a synthetic source with one RNG stream per endpoint so
@@ -101,7 +102,10 @@ func (s *Synthetic) NewTransaction(requester int, rng *sim.RNG, now int64) *prot
 		home = rng.IntnExcept(s.Endpoints, requester)
 	}
 	_, width := tmpl.FanoutIndex()
-	thirds := make([]int, width)
+	for cap(s.thirdsBuf) < width {
+		s.thirdsBuf = append(s.thirdsBuf[:cap(s.thirdsBuf)], 0)
+	}
+	thirds := s.thirdsBuf[:width]
 	for b := range thirds {
 		t := home
 		if s.Endpoints > 1 {
