@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/network"
 	"repro/internal/stats"
 )
 
@@ -26,7 +28,14 @@ func main() {
 	scaleName := flag.String("scale", "quick", "run scale: full, quick, or smoke")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points to run in parallel (1 = serial); reports are identical at any value")
+	checkOn := flag.Bool("check", false, "attach the runtime invariant checker to every simulation point; the first violation aborts the run")
 	flag.Parse()
+
+	if *checkOn {
+		experiments.NetworkHook = func(n *network.Network) {
+			check.Attach(n, check.Options{FailFast: true})
+		}
+	}
 
 	scale, err := scaleByName(*scaleName)
 	if err != nil {

@@ -13,8 +13,14 @@
 //	netsim -scheme PR -rate 0.03 -metrics-csv run.csv -metrics-window 100
 //	netsim -scheme PR -rate 0.03 -episodes
 //
+// Verification:
+//
+//	netsim -scheme PR -rate 0.03 -check            # runtime invariant checker
+//	netsim -scheme PR -rate 0.012 -digest          # delivery-log fingerprint
+//
 // A drain phase that times out with undelivered messages still prints the
-// collected statistics but exits with status 2.
+// collected statistics but exits with status 2; invariant violations under
+// -check exit with status 3.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/check"
 	"repro/internal/netiface"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -58,6 +65,10 @@ func main() {
 		metricsWin   = flag.Int64("metrics-window", 100, "metrics sampling window in cycles")
 		episodes     = flag.Bool("episodes", false, "record deadlock episodes (needs -cwg > 0) and print them")
 		episodesJSON = flag.String("episodes-json", "", "write deadlock episodes as JSONL to this file (implies -episodes)")
+
+		checkOn       = flag.Bool("check", false, "run the runtime invariant checker; violations exit with status 3")
+		checkInterval = flag.Int64("check-interval", 64, "cycles between invariant sweeps (with -check)")
+		digest        = flag.Bool("digest", false, "print a 64-bit digest of the full delivery log (regression fingerprint)")
 	)
 	flag.Parse()
 
@@ -132,6 +143,15 @@ func main() {
 		}
 	}
 
+	var checker *check.Checker
+	if *checkOn {
+		checker = check.Attach(net, check.Options{Interval: *checkInterval})
+	}
+	var dig *check.Digest
+	if *digest {
+		dig = check.AttachDigest(net)
+	}
+
 	res := sim.Run()
 	if bus != nil {
 		fatal(bus.Close())
@@ -173,6 +193,21 @@ func main() {
 		}
 	}
 
+	if checker != nil {
+		fmt.Printf("invariant sweeps:      %d\n", checker.Checks())
+	}
+	if dig != nil {
+		fmt.Printf("delivery digest:       %s (%d deliveries)\n", dig, dig.Count())
+	}
+
+	// Violations outrank a drain timeout: partial statistics are still
+	// meaningful, corrupted ones are not.
+	if checker != nil && len(checker.Violations()) > 0 {
+		for _, v := range checker.Violations() {
+			fmt.Fprintln(os.Stderr, "netsim:", v.Format())
+		}
+		os.Exit(3)
+	}
 	if !res.Drained {
 		fmt.Fprintf(os.Stderr,
 			"netsim: drain phase timed out after %d cycles with %d transactions outstanding; statistics above are partial\n",

@@ -145,6 +145,24 @@ func (r *Rescue) Active() bool { return r.phase != PhaseIdle }
 // Depth returns the current token-reuse chain depth.
 func (r *Rescue) Depth() int { return len(r.stack) }
 
+// ForEachCustody visits every message currently in the rescue engine's
+// custody: the message in flight over the DB/DMB lane, plus subordinates
+// parked in rescue-chain frames awaiting their own lane transfer. Messages
+// handed to a network interface (rescue service requests, controller
+// occupancy) are NI state, not rescue custody. The flit-conservation
+// invariant uses this walk to account for worms evacuated off the normal
+// channels.
+func (r *Rescue) ForEachCustody(f func(m *message.Message)) {
+	if r.transferMsg != nil {
+		f(r.transferMsg)
+	}
+	for i := range r.stack {
+		for _, m := range r.stack[i].pending {
+			f(m)
+		}
+	}
+}
+
 // Step advances the token and the rescue state machine by one cycle. Call
 // once per simulation cycle after routers and NIs have stepped.
 func (r *Rescue) Step(now int64) {

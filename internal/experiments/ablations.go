@@ -12,7 +12,7 @@ import (
 
 // ablationRow runs one configuration and prints a uniform result row.
 func ablationRow(w io.Writer, label string, cfg network.Config) error {
-	n, err := network.New(cfg)
+	n, err := newNet(cfg)
 	if err != nil {
 		return err
 	}
@@ -296,7 +296,7 @@ func AblateMesh(w io.Writer, s Scale) error {
 				shape = "mesh"
 			}
 			label := fmt.Sprintf("%s %s", shape, kind)
-			n, err := network.New(cfg)
+			n, err := newNet(cfg)
 			if err != nil {
 				fmt.Fprintf(w, "%-28s omitted (%v)\n", label, err)
 				continue

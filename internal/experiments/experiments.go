@@ -75,10 +75,30 @@ func baseConfig(s Scale) network.Config {
 	return cfg
 }
 
+// NetworkHook, when non-nil, is applied to every network an experiment
+// builds, right after construction and before the run. cmd/experiments uses
+// it to attach the runtime invariant checker to entire sweeps (-check).
+// Sweeps run points in parallel, so the hook must be safe to call
+// concurrently (per-network attachments are).
+var NetworkHook func(*network.Network)
+
+// newNet builds a network and applies NetworkHook; every experiment
+// constructs its simulation points through here.
+func newNet(cfg network.Config) (*network.Network, error) {
+	n, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if NetworkHook != nil {
+		NetworkHook(n)
+	}
+	return n, nil
+}
+
 // runPoint executes one configuration and converts its statistics to a BNF
 // point.
 func runPoint(cfg network.Config) (stats.Point, error) {
-	n, err := network.New(cfg)
+	n, err := newNet(cfg)
 	if err != nil {
 		return stats.Point{}, err
 	}
@@ -318,7 +338,7 @@ func DeadlockFrequency(w io.Writer, s Scale) error {
 		cfg.VCs = 4
 		cfg.Rate = r
 		cfg.Seed = 21
-		n, err := network.New(cfg)
+		n, err := newNet(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -92,6 +92,9 @@ func runTrace(app tracegen.App, s Scale, radix []int, bristling int, seed uint64
 	if err != nil {
 		return nil, nil, err
 	}
+	if NetworkHook != nil {
+		NetworkHook(n)
+	}
 	// Sample network load (injected flits/node/cycle) per 100-cycle window
 	// for the Figure 6 histogram.
 	hist := stats.NewHistogram(0.05, 8)

@@ -25,7 +25,7 @@ func Utilization(w io.Writer, s Scale) error {
 		cfg.VCs = 8
 		cfg.Rate = 0.010
 		cfg.Seed = 41
-		n, err := network.New(cfg)
+		n, err := newNet(cfg)
 		if err != nil {
 			return err
 		}

@@ -28,6 +28,11 @@ type Packet struct {
 	pooled bool
 }
 
+// Pooled reports whether the packet currently sits on a Pool free list (see
+// Message.Pooled; used by the runtime invariant checker to detect
+// use-after-release).
+func (p *Packet) Pooled() bool { return p.pooled }
+
 // Flit is a single flow-control unit in some buffer. Flits carry their
 // packet and index; index 0 is the header and index Msg.Flits-1 the tail.
 type Flit struct {

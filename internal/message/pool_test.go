@@ -1,0 +1,127 @@
+package message
+
+import "testing"
+
+// TestPoolRecyclesMessages: a Put message comes back from the next New, fully
+// reset — no field from its previous life, including the pooled guard, may
+// survive into the reissue.
+func TestPoolRecyclesMessages(t *testing.T) {
+	p := NewPool()
+	m := p.NewMessage(7, M1, 0, 1, 2, 4, 100)
+	if m.Injected != -1 || m.Delivered != -1 {
+		t.Fatalf("fresh message not unstamped: injected=%d delivered=%d", m.Injected, m.Delivered)
+	}
+
+	// Dirty every mutable field a trip through the network would touch.
+	m.Injected = 55
+	m.Delivered = 90
+	m.Backoff = true
+	m.Nack = true
+	m.Deflected = true
+	m.Rescued = true
+	m.Preallocated = true
+	m.Branch = 3
+	m.Retries = 2
+	m.ReissueStep = 4
+	p.PutMessage(m)
+	if !m.Pooled() {
+		t.Fatal("Put message not marked pooled")
+	}
+
+	got := p.NewMessage(8, M3, 2, 5, 6, 20, 200)
+	if got != m {
+		t.Fatal("pool allocated fresh instead of recycling")
+	}
+	want := Message{Txn: 8, Type: M3, Hop: 2, Src: 5, Dst: 6, Flits: 20, Created: 200, Injected: -1, Delivered: -1}
+	if *got != want {
+		t.Fatalf("recycled message not reset:\ngot  %+v\nwant %+v", *got, want)
+	}
+	if got.Pooled() {
+		t.Fatal("recycled message still marked pooled")
+	}
+}
+
+// TestPoolRecyclesPackets mirrors the message round-trip for packets.
+func TestPoolRecyclesPackets(t *testing.T) {
+	p := NewPool()
+	m := p.NewMessage(1, M1, 0, 0, 1, 4, 0)
+	pk := p.NewPacket(42, m)
+	pk.SentFlits = 4
+	pk.ArrivedFlits = 4
+	p.PutPacket(pk)
+	if !pk.Pooled() {
+		t.Fatal("Put packet not marked pooled")
+	}
+
+	m2 := p.NewMessage(2, M2, 1, 1, 0, 20, 10)
+	got := p.NewPacket(43, m2)
+	if got != pk {
+		t.Fatal("pool allocated fresh instead of recycling")
+	}
+	if got.ID != 43 || got.Msg != m2 || got.SentFlits != 0 || got.ArrivedFlits != 0 || got.Pooled() {
+		t.Fatalf("recycled packet not reset: %+v", *got)
+	}
+}
+
+// TestPoolLIFOOrder: the free list is a stack, so the hottest (most recently
+// retired) object is reused first — the cache-friendly order the hot path
+// depends on.
+func TestPoolLIFOOrder(t *testing.T) {
+	p := NewPool()
+	a := p.NewMessage(1, M1, 0, 0, 1, 4, 0)
+	b := p.NewMessage(2, M1, 0, 0, 1, 4, 0)
+	p.PutMessage(a)
+	p.PutMessage(b)
+	if got := p.NewMessage(3, M1, 0, 0, 1, 4, 0); got != b {
+		t.Fatal("pool did not reuse the most recently Put message first")
+	}
+	if got := p.NewMessage(4, M1, 0, 0, 1, 4, 0); got != a {
+		t.Fatal("pool lost track of the earlier Put message")
+	}
+}
+
+// TestPoolDoubleReleasePanics: releasing the same object twice must fail
+// loudly — a silent double-Put hands the same message to two owners.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	m := p.NewMessage(1, M1, 0, 0, 1, 4, 0)
+	p.PutMessage(m)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double PutMessage did not panic")
+			}
+		}()
+		p.PutMessage(m)
+	}()
+
+	pk := p.NewPacket(1, nil)
+	p.PutPacket(pk)
+	defer func() {
+		if recover() == nil {
+			t.Error("double PutPacket did not panic")
+		}
+	}()
+	p.PutPacket(pk)
+}
+
+// TestNilPoolFallsBack: every method on a nil pool must behave like plain
+// allocation, so components built without a pool work unchanged.
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	m := p.NewMessage(9, M4, 3, 2, 1, 20, 5)
+	if m == nil || m.Txn != 9 || m.Injected != -1 {
+		t.Fatalf("nil pool NewMessage wrong: %+v", m)
+	}
+	p.PutMessage(m) // must not panic or retain
+	p.PutMessage(nil)
+	pk := p.NewPacket(5, m)
+	if pk == nil || pk.ID != 5 || pk.Msg != m {
+		t.Fatalf("nil pool NewPacket wrong: %+v", pk)
+	}
+	p.PutPacket(pk)
+	p.PutPacket(nil)
+	if m2 := p.NewMessage(10, M1, 0, 0, 1, 4, 0); m2 == m {
+		t.Fatal("nil pool recycled an object")
+	}
+}

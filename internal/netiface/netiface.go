@@ -685,6 +685,50 @@ func (n *NI) detect(now int64) {
 // space (used by drain-phase termination checks and tests).
 func (n *NI) PendingGenLen() int { return len(n.pendingGen) }
 
+// InReserved returns the number of input-queue slots of queue q promised to
+// in-flight ejections (headers accepted whose worms are still arriving). The
+// credit-accounting invariant requires 0 <= InReserved and
+// InQueueLen+InReserved <= QueueCap.
+func (n *NI) InReserved(q int) int { return n.inAlloc[q] }
+
+// OutReserved returns the number of output-queue slots of queue q reserved
+// by the memory controller for subordinates of the message it is servicing.
+// The credit-accounting invariant requires 0 <= OutReserved and
+// OutQueueLen+OutReserved <= QueueCap.
+func (n *NI) OutReserved(q int) int { return n.outRes[q] }
+
+// ForEachMessage visits every message this NI currently holds a live
+// reference to: the source queue, output queues (with their packets), input
+// queues, MSHR-generated subordinates awaiting output space, the message
+// occupying the memory controller, and a pending rescue service request.
+// pkt is non-nil only for output-queue entries. The callback must not mutate
+// the NI; the invariant checker uses this walk for pool-safety and
+// transaction-liveness checks.
+func (n *NI) ForEachMessage(f func(m *message.Message, pkt *message.Packet)) {
+	for _, m := range n.sourceQ {
+		f(m, nil)
+	}
+	for q := range n.outQ {
+		for _, e := range n.outQ[q] {
+			f(e.msg, e.pkt)
+		}
+	}
+	for q := range n.inQ {
+		for _, m := range n.inQ[q] {
+			f(m, nil)
+		}
+	}
+	for _, e := range n.pendingGen {
+		f(e.msg, nil)
+	}
+	if n.ctrlMsg != nil {
+		f(n.ctrlMsg, nil)
+	}
+	if n.rescueReq != nil {
+		f(n.rescueReq, nil)
+	}
+}
+
 // Quiescent reports whether the NI holds no queued work at all.
 func (n *NI) Quiescent() bool {
 	if len(n.sourceQ) > 0 || len(n.pendingGen) > 0 || n.ctrlMsg != nil || n.rescueReq != nil {

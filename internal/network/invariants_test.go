@@ -31,7 +31,11 @@ func checkInvariants(t *testing.T, n *Network, now int64) {
 		}
 	}
 	// The incremental occupancy counter behind Quiescent() must agree with a
-	// full scan of committed flits at every cycle boundary.
+	// full scan of committed flits at every cycle boundary. This cross-check
+	// is also promoted into the reusable runtime checker (internal/check's
+	// "occupancy-counter" rule), which any run can enable via netsim -check;
+	// it stays here too because these in-package tests sweep every cycle, not
+	// just checker intervals.
 	var scan int64
 	for _, ch := range n.Channels {
 		scan += int64(ch.Occupied())

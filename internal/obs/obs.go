@@ -74,6 +74,10 @@ const (
 	// KindMeta carries run metadata (configuration, scheme partition) in
 	// Note; emitted once at trace start.
 	KindMeta Kind = "meta"
+	// KindInvariant fires when the runtime invariant checker finds a
+	// conservation-law violation (Node = -1, Note = rule, detail, and a
+	// full state snapshot). A conforming simulation never emits it.
+	KindInvariant Kind = "invariant-violation"
 )
 
 // Event is one structured trace event. The struct is flat and

@@ -52,7 +52,16 @@ type Transaction struct {
 	// FinishedAt is the delivery cycle of the last final-step message, or
 	// -1 while in flight.
 	FinishedAt int64
+
+	// released guards against double-release through the engine free list.
+	released bool
 }
+
+// Released reports whether the transaction currently sits on the engine's
+// free list. A released transaction reachable from the table (or from any
+// live message) is a use-after-release; the runtime invariant checker looks
+// for exactly this.
+func (t *Transaction) Released() bool { return t.released }
 
 // Width returns the fanout width (number of branches).
 func (t *Transaction) Width() int { return len(t.Thirds) }
@@ -145,6 +154,10 @@ func (e *Engine) ReleaseTxn(t *Transaction) {
 	if e == nil || t == nil {
 		return
 	}
+	if t.released {
+		panic("protocol: double ReleaseTxn")
+	}
+	t.released = true
 	e.freeTxns = append(e.freeTxns, t)
 }
 

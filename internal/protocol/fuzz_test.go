@@ -1,0 +1,169 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// fuzzReader dispenses decision bytes from the fuzz input, yielding zero once
+// exhausted — the zero decision is always "service normally", so every input
+// terminates.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *fuzzReader) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.byte()) % n
+}
+
+// FuzzChainExpansion drives one transaction of a fuzzer-chosen pattern
+// through a model memory system: messages are serviced FIFO, and at each
+// non-terminating service the input stream may instead kill the message with
+// a backoff reply (deflective recovery) or a NACK (regressive recovery) —
+// the two ways the deadlock-handling schemes perturb a chain. Whatever the
+// kill schedule, the engine must uphold:
+//
+//   - the chain completes: every branch's terminating message is delivered
+//     exactly once and the transaction reports Done;
+//   - normal messages carry the template's step type for their hop, and are
+//     serviced only after their predecessor step (recovery reissues, marked
+//     Deflected, are exempt — they legitimately rerun a step);
+//   - non-terminating services always produce subordinates;
+//   - the engine's per-transaction message count matches the number of
+//     messages the harness saw it build;
+//   - expansion stays bounded by the number of kills, so no kill schedule
+//     makes a chain self-amplify.
+func FuzzChainExpansion(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 128, 3, 7, 11})
+	f.Add([]byte{3, 200, 1, 2, 4, 2, 2, 2})
+	f.Add([]byte{4, 50, 0, 9, 5, 6, 7, 3, 3, 3, 2})
+	f.Add([]byte{1, 255, 15, 14, 13, 2, 3, 2, 3, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &fuzzReader{data: data}
+		pat := protocol.Patterns[r.intn(len(protocol.Patterns))]
+		eng, err := protocol.NewEngine(pat, protocol.DefaultLengths)
+		if err != nil {
+			t.Fatalf("pattern %s failed validation: %v", pat.Name, err)
+		}
+		tmpl := eng.PickTemplate(float64(r.byte()) / 256)
+		_, width := tmpl.FanoutIndex()
+		const endpoints = 16
+		req := r.intn(endpoints)
+		home := r.intn(endpoints)
+		thirds := make([]int, width)
+		for i := range thirds {
+			thirds[i] = r.intn(endpoints)
+		}
+		txn := eng.NewTransaction(tmpl, req, home, thirds, 0)
+
+		fi, _ := tmpl.FanoutIndex()
+		last := tmpl.ChainLength() - 1
+		type step struct{ hop, branch int }
+		serviced := map[step]bool{}
+		delivered := map[step]bool{}
+		queue := []*message.Message{eng.FirstMessage(txn, 0)}
+		created := 1
+		completions := 0
+		// Each kill consumes a decision byte and adds at most one control
+		// message plus one full-width reissue, so expansion is linear in the
+		// input length.
+		maxMessages := 64 + 16*len(data)
+		var now int64
+
+		for len(queue) > 0 {
+			m := queue[0]
+			queue = queue[1:]
+			now++
+
+			if !m.Backoff && !m.Nack {
+				if m.Type != tmpl.Steps[m.Hop].Type {
+					t.Fatalf("hop %d carries type %v, template says %v", m.Hop, m.Type, tmpl.Steps[m.Hop].Type)
+				}
+				if m.Hop > 0 && !m.Deflected {
+					pb := 0
+					if fi >= 0 && m.Hop-1 >= fi {
+						pb = m.Branch
+					}
+					if !serviced[step{m.Hop - 1, pb}] {
+						t.Fatalf("hop %d branch %d serviced before its predecessor", m.Hop, m.Branch)
+					}
+				}
+			}
+
+			if eng.IsTerminating(txn, m) {
+				if delivered[step{m.Hop, m.Branch}] {
+					t.Fatalf("terminating hop %d branch %d delivered twice", m.Hop, m.Branch)
+				}
+				delivered[step{m.Hop, m.Branch}] = true
+				if eng.RecordDelivery(txn, m, now) {
+					completions++
+				}
+				continue
+			}
+
+			kill := 0
+			if !m.Backoff && !m.Nack {
+				kill = r.intn(4)
+			}
+			switch kill {
+			case 2: // deflect: the destination sheds the next step via a BRP
+				queue = append(queue, eng.Backoff(txn, m, now))
+				serviced[step{m.Hop, m.Branch}] = true
+				created++
+			case 3: // abort: the destination kills m and NACKs the sender
+				queue = append(queue, eng.Nack(txn, m, now))
+				created++
+			default:
+				subs := eng.Subordinates(txn, m, now)
+				if len(subs) == 0 {
+					t.Fatalf("non-terminating hop %d produced no subordinates", m.Hop)
+				}
+				if !m.Backoff && !m.Nack {
+					serviced[step{m.Hop, m.Branch}] = true
+				}
+				created += len(subs)
+				queue = append(queue, subs...)
+			}
+			if created > maxMessages {
+				t.Fatalf("chain self-amplified: %d messages from a %d-byte schedule", created, len(data))
+			}
+		}
+
+		if !txn.Done() {
+			t.Fatalf("chain stalled: %d of %d branches completed", txn.Completed, txn.Width())
+		}
+		if txn.Completed != txn.Width() {
+			t.Fatalf("overcompleted: %d completions for %d branches", txn.Completed, txn.Width())
+		}
+		if completions != 1 {
+			t.Fatalf("RecordDelivery reported completion %d times, want exactly once", completions)
+		}
+		if txn.FinishedAt < 0 {
+			t.Fatal("completed transaction has no finish time")
+		}
+		if txn.Messages != created {
+			t.Fatalf("engine counted %d messages, harness saw %d built", txn.Messages, created)
+		}
+		for b := 0; b < txn.Width(); b++ {
+			if !delivered[step{last, b}] {
+				t.Fatalf("branch %d never delivered its terminating step", b)
+			}
+		}
+	})
+}

@@ -28,6 +28,22 @@ func (t *Table) Get(id message.TxnID) *Transaction {
 	return txn
 }
 
+// Lookup returns the transaction for an ID without Get's panic; ok is false
+// for unknown IDs. Diagnostic consumers (the invariant checker) use it to
+// report orphaned messages instead of crashing mid-walk.
+func (t *Table) Lookup(id message.TxnID) (*Transaction, bool) {
+	txn, ok := t.txns[id]
+	return txn, ok
+}
+
+// ForEach visits every in-flight transaction. Iteration order is undefined
+// (map order); callers needing determinism must sort.
+func (t *Table) ForEach(f func(*Transaction)) {
+	for _, txn := range t.txns {
+		f(txn)
+	}
+}
+
 // Remove deletes a completed transaction, bounding table growth.
 func (t *Table) Remove(id message.TxnID) { delete(t.txns, id) }
 

@@ -94,6 +94,19 @@ func (v *VC) Len() int { return len(v.buf) }
 // (committed plus staged occupancy below capacity).
 func (v *VC) SpaceFor() bool { return len(v.buf)+len(v.staged) < v.cap }
 
+// StagedLen returns the number of staged (uncommitted) flits. At every cycle
+// boundary — after Channel.Commit has run — it must be zero; the runtime
+// invariant checker asserts this.
+func (v *VC) StagedLen() int { return len(v.staged) }
+
+// ForEachFlit visits every committed flit in buffer order, head first. The
+// callback must not mutate the VC.
+func (v *VC) ForEachFlit(f func(message.Flit)) {
+	for _, fl := range v.buf {
+		f(fl)
+	}
+}
+
 // Front returns the flit at the head of the buffer.
 func (v *VC) Front() (message.Flit, bool) {
 	if len(v.buf) == 0 {
