@@ -9,6 +9,7 @@ package repro
 // and tracks simulator performance.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -50,7 +51,7 @@ func benchPoint(b *testing.B, kind schemes.Kind, pat *protocol.Pattern, vcs int,
 // through the MSI directory engine.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table1(io.Discard, benchScale, uint64(i+1)); err != nil {
+		if err := experiments.Table1(context.Background(), io.Discard, benchScale, uint64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +61,7 @@ func BenchmarkTable1(b *testing.B) {
 // application (FFT) through the full trace-driven network.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := RunExperiment("fig6", benchScale, io.Discard); err != nil {
+		if err := RunExperiment(context.Background(), "fig6", benchScale, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +71,7 @@ func BenchmarkFig6(b *testing.B) {
 // (trace-driven runs on plain and bristled tori).
 func BenchmarkTraceDeadlocks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := RunExperiment("traces", benchScale, io.Discard); err != nil {
+		if err := RunExperiment(context.Background(), "traces", benchScale, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

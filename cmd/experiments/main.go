@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro"
@@ -31,6 +34,9 @@ func main() {
 	checkOn := flag.Bool("check", false, "attach the runtime invariant checker to every simulation point; the first violation aborts the run")
 	flag.Parse()
 
+	if *jobs < 1 {
+		fatal(fmt.Errorf("-j must be at least 1, got %d", *jobs))
+	}
 	if *checkOn {
 		experiments.NetworkHook = func(n *network.Network) {
 			check.Attach(n, check.Options{FailFast: true})
@@ -42,6 +48,12 @@ func main() {
 		fatal(err)
 	}
 	experiments.SetParallelism(*jobs)
+
+	// Interrupt/SIGTERM cancel the context, which stops the current sweep
+	// mid-run via the experiments runner's context plumbing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	names := flag.Args()
 	if len(names) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: experiments [-scale full|quick|smoke] <name>...\nnames: %v or all\n", repro.ExperimentNames)
@@ -52,7 +64,7 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		if err := run(name, scale, *csvDir); err != nil {
+		if err := run(ctx, name, scale, *csvDir); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -61,20 +73,20 @@ func main() {
 
 // run dispatches one experiment; for the BNF figures it optionally also
 // writes the raw series as CSV for external plotting.
-func run(name string, scale repro.ExperimentScale, csvDir string) error {
+func run(ctx context.Context, name string, scale repro.ExperimentScale, csvDir string) error {
 	var series []stats.Series
 	var err error
 	switch name {
 	case "fig8":
-		series, err = experiments.Fig8(os.Stdout, scale)
+		series, err = experiments.Fig8(ctx, os.Stdout, scale)
 	case "fig9":
-		series, err = experiments.Fig9(os.Stdout, scale)
+		series, err = experiments.Fig9(ctx, os.Stdout, scale)
 	case "fig10":
-		series, err = experiments.Fig10(os.Stdout, scale)
+		series, err = experiments.Fig10(ctx, os.Stdout, scale)
 	case "fig11":
-		series, err = experiments.Fig11(os.Stdout, scale)
+		series, err = experiments.Fig11(ctx, os.Stdout, scale)
 	default:
-		return repro.RunExperiment(name, scale, os.Stdout)
+		return repro.RunExperiment(ctx, name, scale, os.Stdout)
 	}
 	if err != nil {
 		return err

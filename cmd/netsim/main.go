@@ -72,6 +72,35 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate run-phase and resource flags up front with per-flag messages;
+	// the config validator would reject most of these too, but its errors do
+	// not name the offending flag, and a few (e.g. a negative -cwg) used to
+	// slip through and silently disable behaviour instead of failing.
+	if *warmup < 0 {
+		fatal(fmt.Errorf("-warmup must be >= 0 cycles, got %d", *warmup))
+	}
+	if *measure < 1 {
+		fatal(fmt.Errorf("-measure must be at least 1 cycle, got %d", *measure))
+	}
+	if *drain < 0 {
+		fatal(fmt.Errorf("-drain must be >= 0 cycles, got %d", *drain))
+	}
+	if *cwg < 0 {
+		fatal(fmt.Errorf("-cwg must be >= 0 (0 disables scanning), got %d", *cwg))
+	}
+	if *checkInterval < 1 {
+		fatal(fmt.Errorf("-check-interval must be at least 1 cycle, got %d", *checkInterval))
+	}
+	if *metricsWin < 1 {
+		fatal(fmt.Errorf("-metrics-window must be at least 1 cycle, got %d", *metricsWin))
+	}
+	if *bristling < 1 {
+		fatal(fmt.Errorf("-bristling must be at least 1, got %d", *bristling))
+	}
+	if *rate < 0 || *rate > 1 {
+		fatal(fmt.Errorf("-rate must be a probability in [0,1], got %g", *rate))
+	}
+
 	cfg := repro.DefaultConfig()
 	kind, err := schemes.KindByName(*schemeName)
 	fatal(err)
@@ -224,6 +253,9 @@ func parseRadix(s string) ([]int, error) {
 		v, err := strconv.Atoi(p)
 		if err != nil {
 			return nil, fmt.Errorf("bad radix %q: %w", s, err)
+		}
+		if v < 2 {
+			return nil, fmt.Errorf("bad radix %q: each dimension needs at least 2 routers", s)
 		}
 		out = append(out, v)
 	}

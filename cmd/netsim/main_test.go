@@ -12,6 +12,8 @@ func TestParseRadix(t *testing.T) {
 		{"4X4X4", []int{4, 4, 4}, true},
 		{"16", []int{16}, true},
 		{"8x", nil, false},
+		{"8x1", nil, false},
+		{"0x8", nil, false},
 		{"axb", nil, false},
 		{"", nil, false},
 	}

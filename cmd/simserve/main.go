@@ -1,0 +1,129 @@
+// Command simserve runs the simulator as a long-lived service: an HTTP
+// JSON API in front of a bounded job scheduler and a content-addressed
+// result cache. Because simulations are bit-deterministic functions of
+// their specification, every result is cached by spec hash — resubmitting
+// any configuration ever computed is answered without simulating.
+//
+// Usage:
+//
+//	simserve -addr :8080 -workers 4 -queue 64 -cache-dir simcache
+//
+// Endpoints:
+//
+//	POST /v1/runs      submit a run spec (429 when the queue is full)
+//	GET  /v1/runs/{id} poll a job; the result rides along once done
+//	POST /v1/sweeps    expand a load-rate range into one job per rate
+//	GET  /metrics      queue depth, cache counters, latency percentiles
+//	GET  /healthz      liveness
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, accepted jobs
+// finish (up to -drain-timeout), and new submissions are rejected.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+		queueDepth   = flag.Int("queue", 64, "job queue depth limit (submissions beyond it get HTTP 429)")
+		cacheEntries = flag.Int("cache", 256, "in-memory result-cache entries (LRU)")
+		cacheDir     = flag.String("cache-dir", "", "on-disk result store directory (empty = memory only)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job simulation wall-time limit (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for accepted jobs")
+		tracePath    = flag.String("trace", "", "append job lifecycle and simulation events as JSONL to this file")
+	)
+	flag.Parse()
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be at least 1, got %d", *workers))
+	}
+	if *queueDepth < 1 {
+		fatal(fmt.Errorf("-queue must be at least 1, got %d", *queueDepth))
+	}
+
+	store, err := simsvc.NewStore(*cacheEntries, *cacheDir)
+	fatal(err)
+
+	// The trace sink is shared by every concurrent worker, so it is
+	// locked; events from overlapping jobs interleave, with job-accepted/
+	// start/done markers bracketing each job's stream.
+	var bus *obs.Bus
+	var traceSink *obs.LockedSink
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fatal(err)
+		traceSink = obs.Locked(obs.NewJSONLSink(f))
+		bus = obs.NewBus(traceSink)
+	}
+
+	sched := simsvc.NewScheduler(simsvc.SchedConfig{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		Store:      store,
+		Bus:        bus,
+	})
+	srv := &http.Server{Addr: *addr, Handler: simsvc.NewServer(sched)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("simserve: listening on %s (%d workers, queue %d, cache %d%s)",
+		*addr, *workers, *queueDepth, *cacheEntries, diskNote(*cacheDir))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop the listener, then let accepted jobs finish.
+	log.Printf("simserve: shutdown signal; draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("simserve: http shutdown: %v", err)
+	}
+	if err := sched.Drain(drainCtx); err != nil {
+		log.Printf("simserve: drain incomplete: %v", err)
+	}
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			log.Printf("simserve: trace close: %v", err)
+		}
+	}
+	m := sched.Metrics()
+	log.Printf("simserve: done (%d jobs accepted, %d done, %d failed, cache %d hits / %d misses)",
+		m.JobsAccepted, m.JobsDone, m.JobsFailed, m.Cache.Hits, m.Cache.Misses)
+}
+
+func diskNote(dir string) string {
+	if dir == "" {
+		return ""
+	}
+	return ", disk " + dir
+}
+
+func fatal(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "simserve:", err)
+		os.Exit(1)
+	}
+}

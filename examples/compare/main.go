@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,7 +27,7 @@ func main() {
 		cfg.VCs = 4
 		cfg.Warmup, cfg.Measure, cfg.MaxDrain = 2000, 10000, 10000
 
-		s, err := repro.SweepLoads(cfg, rates, scheme.String())
+		s, err := repro.SweepLoads(context.Background(), cfg, rates, scheme.String())
 		if err != nil {
 			// SA cannot partition 4 VCs over 4 message types — the same
 			// gap appears in the paper's Figure 8.

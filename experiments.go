@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,8 +22,8 @@ var (
 	ScaleSmoke = experiments.Smoke
 )
 
-func experimentsSweep(cfg network.Config, rates []float64, name string) (stats.Series, error) {
-	return experiments.Sweep(cfg, rates, name)
+func experimentsSweep(ctx context.Context, cfg network.Config, rates []float64, name string) (stats.Series, error) {
+	return experiments.Sweep(ctx, cfg, rates, name)
 }
 
 // Experiment names accepted by RunExperiment.
@@ -46,32 +47,32 @@ var ExperimentNames = []string{
 //	            SA channel sharing [21], 64 VCs, bristling, invalidation
 //	            fanout, chain length
 //	utilization — per-scheme channel utilization (the Section 2.1 argument)
-func RunExperiment(name string, scale ExperimentScale, w io.Writer) error {
+func RunExperiment(ctx context.Context, name string, scale ExperimentScale, w io.Writer) error {
 	switch name {
 	case "table1":
-		return experiments.Table1(w, scale, 1)
+		return experiments.Table1(ctx, w, scale, 1)
 	case "fig6":
-		return experiments.Fig6(w, scale, 1)
+		return experiments.Fig6(ctx, w, scale, 1)
 	case "traces":
-		return experiments.TraceDeadlocks(w, scale, 1)
+		return experiments.TraceDeadlocks(ctx, w, scale, 1)
 	case "fig8":
-		_, err := experiments.Fig8(w, scale)
+		_, err := experiments.Fig8(ctx, w, scale)
 		return err
 	case "fig9":
-		_, err := experiments.Fig9(w, scale)
+		_, err := experiments.Fig9(ctx, w, scale)
 		return err
 	case "fig10":
-		_, err := experiments.Fig10(w, scale)
+		_, err := experiments.Fig10(ctx, w, scale)
 		return err
 	case "fig11":
-		_, err := experiments.Fig11(w, scale)
+		_, err := experiments.Fig11(ctx, w, scale)
 		return err
 	case "dlfreq":
-		return experiments.DeadlockFrequency(w, scale)
+		return experiments.DeadlockFrequency(ctx, w, scale)
 	case "ablations":
-		return experiments.Ablations(w, scale)
+		return experiments.Ablations(ctx, w, scale)
 	case "utilization":
-		return experiments.Utilization(w, scale)
+		return experiments.Utilization(ctx, w, scale)
 	default:
 		return fmt.Errorf("repro: unknown experiment %q (valid: %v)", name, ExperimentNames)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,12 +12,14 @@ import (
 )
 
 // ablationRow runs one configuration and prints a uniform result row.
-func ablationRow(w io.Writer, label string, cfg network.Config) error {
+func ablationRow(ctx context.Context, w io.Writer, label string, cfg network.Config) error {
 	n, err := newNet(cfg)
 	if err != nil {
 		return err
 	}
-	n.Run()
+	if err := RunNetwork(ctx, n); err != nil {
+		return err
+	}
 	s := n.Stats
 	fmt.Fprintf(w, "%-28s %10.4f %10.1f %8d %8d %8d\n",
 		label, s.Throughput(), s.AvgLatency(), s.Deflections, s.Rescues, s.CWGDeadlocks)
@@ -32,7 +35,7 @@ func ablationHeader(w io.Writer, title string) {
 // assumes 25 cycles, matching the CWG detector's average detection time):
 // eager thresholds recover more often than necessary, lazy ones let
 // deadlocks linger.
-func AblateThreshold(w io.Writer, s Scale) error {
+func AblateThreshold(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "detection threshold (PR, PAT271, 4 VCs, at saturation)")
 	for _, thr := range []int{5, 25, 100, 400} {
 		cfg := baseConfig(s)
@@ -43,7 +46,7 @@ func AblateThreshold(w io.Writer, s Scale) error {
 		cfg.DetectThreshold = thr
 		cfg.RouterTimeout = thr
 		cfg.Seed = 31
-		if err := ablationRow(w, fmt.Sprintf("threshold=%d", thr), cfg); err != nil {
+		if err := ablationRow(ctx, w, fmt.Sprintf("threshold=%d", thr), cfg); err != nil {
 			return err
 		}
 	}
@@ -53,7 +56,7 @@ func AblateThreshold(w io.Writer, s Scale) error {
 // AblateTokenSpeed studies the token's ring-hop time: the paper multiplexes
 // the token over network bandwidth (one hop per cycle); slower tokens delay
 // captures and stretch recovery.
-func AblateTokenSpeed(w io.Writer, s Scale) error {
+func AblateTokenSpeed(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "token hop time (PR, PAT271, 4 VCs, at saturation)")
 	for _, hop := range []int{1, 2, 4, 8} {
 		cfg := baseConfig(s)
@@ -63,7 +66,7 @@ func AblateTokenSpeed(w io.Writer, s Scale) error {
 		cfg.Rate = 0.012
 		cfg.TokenHopCycles = hop
 		cfg.Seed = 32
-		if err := ablationRow(w, fmt.Sprintf("hop=%d cycles", hop), cfg); err != nil {
+		if err := ablationRow(ctx, w, fmt.Sprintf("hop=%d cycles", hop), cfg); err != nil {
 			return err
 		}
 	}
@@ -73,7 +76,7 @@ func AblateTokenSpeed(w io.Writer, s Scale) error {
 // AblateSAShared studies the reference-[21] SA variant (Section 2.1): all
 // channels beyond the per-type escapes shared among types, raising channel
 // availability from 1+(C/L-E_r) to 1+(C-E_m).
-func AblateSAShared(w io.Writer, s Scale) error {
+func AblateSAShared(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "SA channel sharing [21] (PAT721)")
 	for _, vcs := range []int{8, 16} {
 		for _, sharedCh := range []bool{false, true} {
@@ -88,7 +91,7 @@ func AblateSAShared(w io.Writer, s Scale) error {
 			if sharedCh {
 				label = fmt.Sprintf("%d VCs shared-adaptive", vcs)
 			}
-			if err := ablationRow(w, label, cfg); err != nil {
+			if err := ablationRow(ctx, w, label, cfg); err != nil {
 				return err
 			}
 		}
@@ -98,7 +101,7 @@ func AblateSAShared(w io.Writer, s Scale) error {
 
 // AblateVC64 checks the paper's remark that results for 64 virtual channels
 // do not differ significantly from 16.
-func AblateVC64(w io.Writer, s Scale) error {
+func AblateVC64(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "16 vs 64 virtual channels (PAT271)")
 	for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
 		for _, vcs := range []int{16, 64} {
@@ -108,7 +111,7 @@ func AblateVC64(w io.Writer, s Scale) error {
 			cfg.VCs = vcs
 			cfg.Rate = 0.012
 			cfg.Seed = 34
-			if err := ablationRow(w, fmt.Sprintf("%s %d VCs", kind, vcs), cfg); err != nil {
+			if err := ablationRow(ctx, w, fmt.Sprintf("%s %d VCs", kind, vcs), cfg); err != nil {
 				return err
 			}
 		}
@@ -119,7 +122,7 @@ func AblateVC64(w io.Writer, s Scale) error {
 // AblateBristling studies bristling at constant endpoint count (64
 // processors as 8x8 b=1, 4x8 b=2, 4x4 b=4): fewer routers concentrate
 // traffic on fewer links.
-func AblateBristling(w io.Writer, s Scale) error {
+func AblateBristling(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "bristling factor at 64 endpoints (PR, PAT271, 4 VCs)")
 	shapes := []struct {
 		radix []int
@@ -140,7 +143,7 @@ func AblateBristling(w io.Writer, s Scale) error {
 		// links; keep all three shapes below their saturation points.
 		cfg.Rate = 0.005
 		cfg.Seed = 35
-		if err := ablationRow(w, fmt.Sprintf("%dx%d b=%d", sh.radix[0], sh.radix[1], sh.b), cfg); err != nil {
+		if err := ablationRow(ctx, w, fmt.Sprintf("%dx%d b=%d", sh.radix[0], sh.radix[1], sh.b), cfg); err != nil {
 			return err
 		}
 	}
@@ -166,7 +169,7 @@ func fanoutPattern(k int) *protocol.Pattern {
 
 // AblateFanout studies multi-sharer invalidations (Appendix Case 4: the
 // token is reused to deliver each of several subordinates).
-func AblateFanout(w io.Writer, s Scale) error {
+func AblateFanout(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "invalidation fanout (PR, 4 VCs, 70% invalidations)")
 	for _, k := range []int{1, 2, 4} {
 		cfg := baseConfig(s)
@@ -177,7 +180,7 @@ func AblateFanout(w io.Writer, s Scale) error {
 		// request rate so every width stays below saturation.
 		cfg.Rate = 0.012 / float64(k+1)
 		cfg.Seed = 36
-		if err := ablationRow(w, fmt.Sprintf("fanout=%d", k), cfg); err != nil {
+		if err := ablationRow(ctx, w, fmt.Sprintf("fanout=%d", k), cfg); err != nil {
 			return err
 		}
 	}
@@ -186,7 +189,7 @@ func AblateFanout(w io.Writer, s Scale) error {
 
 // AblateChainLength isolates dependency-chain length: pure chain-2, chain-3
 // and chain-4 workloads under DR and PR at 8 VCs.
-func AblateChainLength(w io.Writer, s Scale) error {
+func AblateChainLength(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "dependency chain length (8 VCs)")
 	pats := []*protocol.Pattern{
 		{Name: "CHAIN2", Style: protocol.StyleS1, Templates: []*protocol.Template{protocol.Chain2}, Weights: []float64{1}},
@@ -206,7 +209,7 @@ func AblateChainLength(w io.Writer, s Scale) error {
 				fmt.Fprintf(w, "%-28s omitted (%v)\n", label, err)
 				continue
 			}
-			if err := ablationRow(w, label, cfg); err != nil {
+			if err := ablationRow(ctx, w, label, cfg); err != nil {
 				return err
 			}
 		}
@@ -219,7 +222,7 @@ func AblateChainLength(w io.Writer, s Scale) error {
 // queue storage (here 64 x 16 = 1024 message slots per queue), while PR gets
 // comparable throughput from ordinary 16-entry queues plus the recovery
 // lane.
-func AblateSufficientQueues(w io.Writer, s Scale) error {
+func AblateSufficientQueues(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "sufficient queues vs recovery (PAT271, 4 VCs)")
 	type variant struct {
 		kind schemes.Kind
@@ -239,7 +242,7 @@ func AblateSufficientQueues(w io.Writer, s Scale) error {
 		cfg.Rate = 0.012
 		cfg.Seed = 38
 		label := fmt.Sprintf("%s queue=%d msgs", v.kind, v.cap)
-		if err := ablationRow(w, label, cfg); err != nil {
+		if err := ablationRow(ctx, w, label, cfg); err != nil {
 			return err
 		}
 	}
@@ -253,7 +256,7 @@ func AblateSufficientQueues(w io.Writer, s Scale) error {
 // progressive PR. Section 2.2's argument is visible directly: recovery
 // classes that add messages per resolved deadlock degrade as load grows;
 // progressive recovery does not.
-func AblateRecoveryClass(w io.Writer, s Scale) error {
+func AblateRecoveryClass(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "recovery class comparison (PAT271, 4 VCs)")
 	for _, rate := range []float64{0.008, 0.010, 0.012, 0.014} {
 		for _, kind := range []schemes.Kind{schemes.SQ, schemes.DR, schemes.AB, schemes.PR} {
@@ -267,7 +270,7 @@ func AblateRecoveryClass(w io.Writer, s Scale) error {
 				cfg.QueueCap = 64 * cfg.MaxOutstanding
 			}
 			label := fmt.Sprintf("%s rate=%.3f", kind, rate)
-			if err := ablationRow(w, label, cfg); err != nil {
+			if err := ablationRow(ctx, w, label, cfg); err != nil {
 				return err
 			}
 		}
@@ -280,7 +283,7 @@ func AblateRecoveryClass(w io.Writer, s Scale) error {
 // avoidance becomes configurable for 4-type protocols where the torus
 // version cannot exist — at the cost of losing the wraparound bandwidth and
 // path diversity.
-func AblateMesh(w io.Writer, s Scale) error {
+func AblateMesh(ctx context.Context, w io.Writer, s Scale) error {
 	ablationHeader(w, "torus vs mesh (PAT721, 4 VCs)")
 	for _, mesh := range []bool{false, true} {
 		for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
@@ -301,7 +304,9 @@ func AblateMesh(w io.Writer, s Scale) error {
 				fmt.Fprintf(w, "%-28s omitted (%v)\n", label, err)
 				continue
 			}
-			n.Run()
+			if err := RunNetwork(ctx, n); err != nil {
+				return err
+			}
 			st := n.Stats
 			fmt.Fprintf(w, "%-28s %10.4f %10.1f %8d %8d %8d\n",
 				label, st.Throughput(), st.AvgLatency(), st.Deflections, st.Rescues, st.CWGDeadlocks)
@@ -311,14 +316,14 @@ func AblateMesh(w io.Writer, s Scale) error {
 }
 
 // Ablations runs every design-choice study.
-func Ablations(w io.Writer, s Scale) error {
+func Ablations(ctx context.Context, w io.Writer, s Scale) error {
 	fmt.Fprintf(w, "=== Ablations (scale=%s) ===\n", s.Name)
-	for _, f := range []func(io.Writer, Scale) error{
+	for _, f := range []func(context.Context, io.Writer, Scale) error{
 		AblateThreshold, AblateTokenSpeed, AblateSAShared,
 		AblateVC64, AblateBristling, AblateFanout, AblateChainLength,
 		AblateSufficientQueues, AblateRecoveryClass, AblateMesh,
 	} {
-		if err := f(w, s); err != nil {
+		if err := f(ctx, w, s); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ func TestAblationsRunAtSmokeScale(t *testing.T) {
 		t.Skip("slow")
 	}
 	var buf bytes.Buffer
-	if err := Ablations(&buf, Smoke); err != nil {
+	if err := Ablations(context.Background(), &buf, Smoke); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -96,13 +97,15 @@ func newNet(cfg network.Config) (*network.Network, error) {
 }
 
 // runPoint executes one configuration and converts its statistics to a BNF
-// point.
-func runPoint(cfg network.Config) (stats.Point, error) {
+// point, honouring ctx cancellation mid-run.
+func runPoint(ctx context.Context, cfg network.Config) (stats.Point, error) {
 	n, err := newNet(cfg)
 	if err != nil {
 		return stats.Point{}, err
 	}
-	n.Run()
+	if err := RunNetwork(ctx, n); err != nil {
+		return stats.Point{}, err
+	}
 	s := n.Stats
 	return stats.Point{
 		Applied:     cfg.Rate,
@@ -128,9 +131,9 @@ func runPoint(cfg network.Config) (stats.Point, error) {
 // past the stop point) and the stop rule is applied to the gathered ladder,
 // which yields exactly the points the serial walk would have kept; with one
 // worker the lazy serial walk below avoids the speculative runs.
-func Sweep(cfg network.Config, rates []float64, name string) (stats.Series, error) {
+func Sweep(ctx context.Context, cfg network.Config, rates []float64, name string) (stats.Series, error) {
 	if Parallelism() > 1 {
-		out, err := runSweeps([]sweepJob{{cfg: cfg, name: name}}, rates)
+		out, err := runSweeps(ctx, []sweepJob{{cfg: cfg, name: name}}, rates)
 		if err != nil {
 			return stats.Series{Name: name}, err
 		}
@@ -140,7 +143,7 @@ func Sweep(cfg network.Config, rates []float64, name string) (stats.Series, erro
 	best := 0.0
 	for _, r := range rates {
 		cfg.Rate = r
-		p, err := runPoint(cfg)
+		p, err := runPoint(ctx, cfg)
 		if err != nil {
 			return series, err
 		}
@@ -166,12 +169,12 @@ type sweepJob struct {
 // regrouping and truncating each ladder with the serial stop rule. Flat
 // fan-out keeps all workers busy even when individual sweeps have fewer
 // points than workers.
-func runSweeps(jobs []sweepJob, rates []float64) ([]stats.Series, error) {
+func runSweeps(ctx context.Context, jobs []sweepJob, rates []float64) ([]stats.Series, error) {
 	workers := Parallelism()
 	if workers <= 1 {
 		out := make([]stats.Series, len(jobs))
 		for i, job := range jobs {
-			sr, err := Sweep(job.cfg, rates, job.name)
+			sr, err := Sweep(ctx, job.cfg, rates, job.name)
 			if err != nil {
 				return nil, err
 			}
@@ -179,10 +182,10 @@ func runSweeps(jobs []sweepJob, rates []float64) ([]stats.Series, error) {
 		}
 		return out, nil
 	}
-	pts, err := mapOrdered(workers, len(jobs)*len(rates), func(i int) (stats.Point, error) {
+	pts, err := mapOrdered(ctx, workers, len(jobs)*len(rates), func(i int) (stats.Point, error) {
 		c := jobs[i/len(rates)].cfg
 		c.Rate = rates[i%len(rates)]
-		return runPoint(c)
+		return runPoint(ctx, c)
 	})
 	if err != nil {
 		return nil, err
@@ -223,7 +226,7 @@ func schemeLabel(kind schemes.Kind, qa bool) string {
 // the given VC count, for each listed pattern. Invalid configurations are
 // skipped exactly where the paper omits the corresponding curves (SA at 4
 // VCs for chains > 2; DR for PAT100).
-func FigBNF(w io.Writer, s Scale, title string, vcs int, pats []*protocol.Pattern, seed uint64) ([]stats.Series, error) {
+func FigBNF(ctx context.Context, w io.Writer, s Scale, title string, vcs int, pats []*protocol.Pattern, seed uint64) ([]stats.Series, error) {
 	fmt.Fprintf(w, "=== %s (8x8 torus, %d VCs, scale=%s) ===\n", title, vcs, s.Name)
 	// Collect every valid (pattern, scheme) sweep up front so the whole
 	// figure fans out through one worker pool; omitted-configuration lines
@@ -252,7 +255,7 @@ func FigBNF(w io.Writer, s Scale, title string, vcs int, pats []*protocol.Patter
 		}
 		groups[pi].end = len(jobs)
 	}
-	results, err := runSweeps(jobs, s.Rates)
+	results, err := runSweeps(ctx, jobs, s.Rates)
 	if err != nil {
 		return nil, err
 	}
@@ -270,26 +273,26 @@ func FigBNF(w io.Writer, s Scale, title string, vcs int, pats []*protocol.Patter
 }
 
 // Fig8 regenerates Figure 8: 4 virtual channels, all five patterns.
-func Fig8(w io.Writer, s Scale) ([]stats.Series, error) {
-	return FigBNF(w, s, "Figure 8", 4, protocol.Patterns, 8)
+func Fig8(ctx context.Context, w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(ctx, w, s, "Figure 8", 4, protocol.Patterns, 8)
 }
 
 // Fig9 regenerates Figure 9: 8 virtual channels, all five patterns.
-func Fig9(w io.Writer, s Scale) ([]stats.Series, error) {
-	return FigBNF(w, s, "Figure 9", 8, protocol.Patterns, 9)
+func Fig9(ctx context.Context, w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(ctx, w, s, "Figure 9", 8, protocol.Patterns, 9)
 }
 
 // Fig10 regenerates Figure 10: 16 virtual channels; the paper plots
 // PAT721/451/271/280 (PAT100 adds nothing at that point).
-func Fig10(w io.Writer, s Scale) ([]stats.Series, error) {
-	return FigBNF(w, s, "Figure 10", 16,
+func Fig10(ctx context.Context, w io.Writer, s Scale) ([]stats.Series, error) {
+	return FigBNF(ctx, w, s, "Figure 10", 16,
 		[]*protocol.Pattern{protocol.PAT721, protocol.PAT451, protocol.PAT271, protocol.PAT280}, 10)
 }
 
 // Fig11 regenerates Figure 11: message-queue allocation ablation at 16 VCs
 // with the 4-type PAT271 pattern — SA versus DR and PR with shared(-class)
 // queues and with per-type queues (QA).
-func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
+func Fig11(ctx context.Context, w io.Writer, s Scale) ([]stats.Series, error) {
 	fmt.Fprintf(w, "=== Figure 11 (PAT271, 16 VCs, queue allocation, scale=%s) ===\n", s.Name)
 	type variant struct {
 		kind schemes.Kind
@@ -313,7 +316,7 @@ func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
 		cfg.Seed = 11
 		jobs = append(jobs, sweepJob{cfg: cfg, name: schemeLabel(v.kind, v.qa)})
 	}
-	series, err := runSweeps(jobs, s.Rates)
+	series, err := runSweeps(ctx, jobs, s.Rates)
 	if err != nil {
 		return nil, err
 	}
@@ -325,11 +328,11 @@ func Fig11(w io.Writer, s Scale) ([]stats.Series, error) {
 // DeadlockFrequency characterizes how often deadlocks form versus load for
 // the recovery schemes (the paper's normalized number of deadlocks,
 // Section 4.1), confirming deadlocks are rare until deep saturation.
-func DeadlockFrequency(w io.Writer, s Scale) error {
+func DeadlockFrequency(ctx context.Context, w io.Writer, s Scale) error {
 	fmt.Fprintf(w, "=== Deadlock frequency vs load (PAT271, 4 VCs, scale=%s) ===\n", s.Name)
 	fmt.Fprintf(w, "%-6s %10s %12s %10s %10s %12s\n", "scheme", "applied", "throughput", "recov", "cwg-knots", "norm-dlk")
 	kinds := []schemes.Kind{schemes.DR, schemes.PR}
-	rows, err := mapOrdered(Parallelism(), len(kinds)*len(s.Rates), func(i int) (string, error) {
+	rows, err := mapOrdered(ctx, Parallelism(), len(kinds)*len(s.Rates), func(i int) (string, error) {
 		kind := kinds[i/len(s.Rates)]
 		r := s.Rates[i%len(s.Rates)]
 		cfg := baseConfig(s)
@@ -342,7 +345,9 @@ func DeadlockFrequency(w io.Writer, s Scale) error {
 		if err != nil {
 			return "", err
 		}
-		n.Run()
+		if err := RunNetwork(ctx, n); err != nil {
+			return "", err
+		}
 		st := n.Stats
 		recov := st.Deflections + st.Rescues
 		return fmt.Sprintf("%-6s %10.4f %12.4f %10d %10d %12.6f\n",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestSweepStopsJustBeyondSaturation(t *testing.T) {
 	cfg.Warmup = 500
 	cfg.Measure = 2500
 	cfg.MaxDrain = 3000
-	sr, err := Sweep(cfg, []float64{0.002, 0.01, 0.03, 0.05, 0.08}, "t")
+	sr, err := Sweep(context.Background(), cfg, []float64{0.002, 0.01, 0.03, 0.05, 0.08}, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSweepStopsJustBeyondSaturation(t *testing.T) {
 
 func TestTable1Report(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf, Smoke, 3); err != nil {
+	if err := Table1(context.Background(), &buf, Smoke, 3); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -64,7 +65,7 @@ func TestFig11VariantsPresent(t *testing.T) {
 		t.Skip("slow")
 	}
 	var buf bytes.Buffer
-	series, err := Fig11(&buf, Smoke)
+	series, err := Fig11(context.Background(), &buf, Smoke)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFigBNFOmitsInvalidCurves(t *testing.T) {
 		t.Skip("slow")
 	}
 	var buf bytes.Buffer
-	series, err := FigBNF(&buf, Smoke, "probe", 4,
+	series, err := FigBNF(context.Background(), &buf, Smoke, "probe", 4,
 		[]*protocol.Pattern{protocol.PAT100, protocol.PAT271}, 1)
 	if err != nil {
 		t.Fatal(err)

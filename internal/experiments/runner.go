@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 // parallelism is the worker count experiment fan-out uses. Simulation points
@@ -30,14 +34,19 @@ func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
 // the results in input order. Workers pull the next index from a shared
 // counter, so scheduling is dynamic but the output layout is deterministic.
 // If any calls fail, the error of the smallest failing index is returned —
-// exactly the error a serial loop would have surfaced first.
-func mapOrdered[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// exactly the error a serial loop would have surfaced first. A cancelled ctx
+// stops the fan-out before the next unstarted index; in-flight calls observe
+// ctx themselves (RunNetwork checks it between cycle batches).
+func mapOrdered[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -58,6 +67,10 @@ func mapOrdered[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = fn(i)
 			}
 		}()
@@ -69,4 +82,32 @@ func mapOrdered[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// ctxCheckCycles is how many cycles RunNetwork steps between context polls:
+// coarse enough to keep the poll invisible in the hot path (one atomic load
+// per batch), fine enough that cancellation lands within microseconds of
+// real time.
+const ctxCheckCycles = 1024
+
+// RunNetwork steps a built network through its configured warmup, measure,
+// and drain phases like (*network.Network).Run, but polls ctx between cycle
+// batches so a cancelled or timed-out caller stops the simulation mid-run
+// instead of waiting for completion. Experiment points and served jobs both
+// execute through here; the CLI passes context.Background(), which reduces
+// to the uninterruptible loop.
+func RunNetwork(ctx context.Context, n *network.Network) error {
+	done := ctx.Done()
+	for i := int64(1); !n.Clock.Done(); i++ {
+		n.Step()
+		if n.Clock.Phase() == sim.PhaseDrain && n.Quiescent() {
+			break
+		}
+		if done != nil && i%ctxCheckCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

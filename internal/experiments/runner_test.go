@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	run := func(j int) (string, string) {
 		SetParallelism(j)
 		var buf bytes.Buffer
-		series, err := FigBNF(&buf, runnerScale, "determinism check", 4,
+		series, err := FigBNF(context.Background(), &buf, runnerScale, "determinism check", 4,
 			[]*protocol.Pattern{protocol.PAT271}, 42)
 		if err != nil {
 			t.Fatalf("FigBNF (j=%d): %v", j, err)
@@ -60,7 +61,7 @@ func TestParallelDeadlockFrequencyDeterminism(t *testing.T) {
 	run := func(j int) string {
 		SetParallelism(j)
 		var buf bytes.Buffer
-		if err := DeadlockFrequency(&buf, runnerScale); err != nil {
+		if err := DeadlockFrequency(context.Background(), &buf, runnerScale); err != nil {
 			t.Fatalf("DeadlockFrequency (j=%d): %v", j, err)
 		}
 		return buf.String()

@@ -7,6 +7,7 @@ package experiments
 // from Section 4.3.2.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netiface"
@@ -28,7 +29,7 @@ func saturation(t *testing.T, kind schemes.Kind, pat *protocol.Pattern, vcs int,
 	cfg.Measure = 8000
 	cfg.MaxDrain = 8000
 	cfg.Seed = 77
-	sr, err := Sweep(cfg, rates, "probe")
+	sr, err := Sweep(context.Background(), cfg, rates, "probe")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,10 +26,10 @@ var paperTable1 = map[string][3]float64{
 // Table1 regenerates Table 1: the distribution of home-node response types
 // per application, measured by replaying each synthesized trace through the
 // MSI directory engine (no network needed for classification).
-func Table1(w io.Writer, s Scale, seed uint64) error {
+func Table1(ctx context.Context, w io.Writer, s Scale, seed uint64) error {
 	fmt.Fprintln(w, "=== Table 1: response types to request messages (16 processors, MSI) ===")
 	fmt.Fprintf(w, "%-8s %28s %28s\n", "", "measured (direct/inval/fwd)", "paper    (direct/inval/fwd)")
-	rows, err := mapOrdered(Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
+	rows, err := mapOrdered(ctx, Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
 		app := tracegen.Apps[ai]
 		g := tracegen.NewGenerator(app, 16, seed)
 		tr := g.Generate(s.TraceCycles)
@@ -75,7 +76,7 @@ func traceConfig(s Scale, radix []int, bristling int) network.Config {
 
 // runTrace drives one application trace through a network and returns the
 // network plus the per-window injected-flit load samples.
-func runTrace(app tracegen.App, s Scale, radix []int, bristling int, seed uint64) (*network.Network, *stats.Histogram, error) {
+func runTrace(ctx context.Context, app tracegen.App, s Scale, radix []int, bristling int, seed uint64) (*network.Network, *stats.Histogram, error) {
 	cfg := traceConfig(s, radix, bristling)
 	cfg.Seed = seed
 	var player *tracegen.Player
@@ -109,18 +110,20 @@ func runTrace(app tracegen.App, s Scale, radix []int, bristling int, seed uint64
 		lastFlits = cur
 		hist.Add(load)
 	}
-	n.Run()
+	if err := RunNetwork(ctx, n); err != nil {
+		return nil, nil, err
+	}
 	_ = player
 	return n, hist, nil
 }
 
 // Fig6 regenerates Figure 6: the load-rate distributions of the four
 // benchmark applications on the 4x4 torus.
-func Fig6(w io.Writer, s Scale, seed uint64) error {
+func Fig6(ctx context.Context, w io.Writer, s Scale, seed uint64) error {
 	fmt.Fprintln(w, "=== Figure 6: load rate distributions (4x4 torus, MSI traces) ===")
-	blocks, err := mapOrdered(Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
+	blocks, err := mapOrdered(ctx, Parallelism(), len(tracegen.Apps), func(ai int) (string, error) {
 		app := tracegen.Apps[ai]
-		_, hist, err := runTrace(app, s, []int{4, 4}, 1, seed)
+		_, hist, err := runTrace(ctx, app, s, []int{4, 4}, 1, seed)
 		if err != nil {
 			return "", err
 		}
@@ -141,7 +144,7 @@ func Fig6(w io.Writer, s Scale, seed uint64) error {
 // application on the 4x4 torus and on bristled 2x4 and 2x2 tori (bristling
 // factors 2 and 4), reporting average load and observed message-dependent
 // deadlocks. The paper observed none; the CWG knot count checks that.
-func TraceDeadlocks(w io.Writer, s Scale, seed uint64) error {
+func TraceDeadlocks(ctx context.Context, w io.Writer, s Scale, seed uint64) error {
 	fmt.Fprintln(w, "=== Section 4.2.2: trace-driven deadlock characterization ===")
 	fmt.Fprintf(w, "%-8s %-10s %10s %10s %10s %10s\n", "app", "network", "avg-load", "knots", "rescues", "delivered")
 	shapes := []struct {
@@ -153,10 +156,10 @@ func TraceDeadlocks(w io.Writer, s Scale, seed uint64) error {
 		{[]int{2, 4}, 2, "2x4 b=2"},
 		{[]int{2, 2}, 4, "2x2 b=4"},
 	}
-	rows, err := mapOrdered(Parallelism(), len(tracegen.Apps)*len(shapes), func(i int) (string, error) {
+	rows, err := mapOrdered(ctx, Parallelism(), len(tracegen.Apps)*len(shapes), func(i int) (string, error) {
 		app := tracegen.Apps[i/len(shapes)]
 		sh := shapes[i%len(shapes)]
-		n, _, err := runTrace(app, s, sh.radix, sh.bristling, seed)
+		n, _, err := runTrace(ctx, app, s, sh.radix, sh.bristling, seed)
 		if err != nil {
 			return "", err
 		}

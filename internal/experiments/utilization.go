@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,7 +17,7 @@ import (
 // most virtual channels idle and concentrate traffic (high imbalance when
 // the type mix is skewed), while progressive recovery's full sharing spreads
 // load across every channel.
-func Utilization(w io.Writer, s Scale) error {
+func Utilization(ctx context.Context, w io.Writer, s Scale) error {
 	fmt.Fprintf(w, "=== Channel utilization by scheme (PAT721, 8 VCs, scale=%s) ===\n", s.Name)
 	for _, kind := range []schemes.Kind{schemes.SA, schemes.DR, schemes.PR} {
 		cfg := baseConfig(s)
@@ -30,7 +31,9 @@ func Utilization(w io.Writer, s Scale) error {
 			return err
 		}
 		util := attachUtilization(n)
-		n.Run()
+		if err := RunNetwork(ctx, n); err != nil {
+			return err
+		}
 		fmt.Fprint(w, util.Format(kind.String()))
 	}
 	return nil

@@ -14,7 +14,10 @@
 // event values are constructed unless a sink is attached.
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind names an event type. String-typed kinds keep traces self-describing
 // in every sink format; events are only constructed when tracing is on, so
@@ -78,6 +81,14 @@ const (
 	// conservation-law violation (Node = -1, Note = rule, detail, and a
 	// full state snapshot). A conforming simulation never emits it.
 	KindInvariant Kind = "invariant-violation"
+	// KindJobAccepted, KindJobStart and KindJobDone bracket a served
+	// simulation job (internal/simsvc): accepted into the queue, picked up
+	// by a worker, and finished. Node = -1; Note carries the job ID, spec
+	// hash, and (for done) the outcome. Cycle is zero — job events happen
+	// in wall time, outside any one simulation's clock.
+	KindJobAccepted Kind = "job-accepted"
+	KindJobStart    Kind = "job-start"
+	KindJobDone     Kind = "job-done"
 )
 
 // Event is one structured trace event. The struct is flat and
@@ -145,6 +156,35 @@ func (b *Bus) Emit(e Event) {
 // partition summary) at cycle 0.
 func (b *Bus) Meta(note string) {
 	b.Emit(Event{Kind: KindMeta, Node: -1, Note: note})
+}
+
+// LockedSink serializes a Sink (and its Close) behind a mutex so several
+// concurrently running simulations can share it. Single-run tooling does not
+// need this — the Sink contract assumes one simulation goroutine — but the
+// serving layer runs many networks at once against one trace file.
+type LockedSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// Locked wraps s for concurrent use.
+func Locked(s Sink) *LockedSink { return &LockedSink{sink: s} }
+
+// Event forwards one event under the lock.
+func (l *LockedSink) Event(e Event) {
+	l.mu.Lock()
+	l.sink.Event(e)
+	l.mu.Unlock()
+}
+
+// Close finalizes the wrapped sink if it buffers output.
+func (l *LockedSink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c, ok := l.sink.(Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Close finalizes every sink that needs it, returning the first error.

@@ -1,0 +1,168 @@
+package simsvc
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the content-addressed result cache: a bounded in-memory LRU in
+// front of an optional on-disk store. Keys are spec hashes; values are
+// marshalled Result payloads. The LRU bounds memory, the disk layer keeps
+// every result ever computed, and an LRU-evicted entry silently reloads
+// from disk on its next request.
+type Store struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // value: *entry
+	dir   string                   // "" = memory only
+}
+
+type entry struct {
+	hash    string
+	payload []byte
+}
+
+// NewStore builds a store holding up to maxEntries payloads in memory
+// (minimum 1), persisting to dir when non-empty (created if missing).
+func NewStore(maxEntries int, dir string) (*Store, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{
+		max:   maxEntries,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+		dir:   dir,
+	}, nil
+}
+
+// Get returns the payload cached for hash, consulting memory first and
+// then disk (promoting a disk hit back into the LRU). The returned slice
+// is shared — callers must not mutate it.
+func (s *Store) Get(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[hash]; ok {
+		s.order.MoveToFront(el)
+		p := el.Value.(*entry).payload
+		s.mu.Unlock()
+		return p, true
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil, false
+	}
+	payload, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	s.insert(hash, payload)
+	return payload, true
+}
+
+// Put caches a payload in memory and, when configured, on disk. The disk
+// write goes through a temp file + rename so a crashed server never leaves
+// a truncated result to be served later.
+func (s *Store) Put(hash string, payload []byte) error {
+	s.insert(hash, payload)
+	if s.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(hash))
+}
+
+// insert places a payload at the LRU front, evicting from the back past
+// capacity.
+func (s *Store) insert(hash string, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[hash]; ok {
+		el.Value.(*entry).payload = payload
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[hash] = s.order.PushFront(&entry{hash: hash, payload: payload})
+	for s.order.Len() > s.max {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.items, back.Value.(*entry).hash)
+	}
+}
+
+// Len reports the in-memory entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// path is the on-disk location for a hash. Hashes are 16 hex digits, so
+// the name needs no escaping.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// flightGroup coalesces concurrent executions of the same key: the first
+// caller runs fn, later callers block and share its return. This is what
+// makes two identical specs submitted concurrently cost one simulation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// do invokes fn once per key at a time; shared reports whether this caller
+// piggybacked on another's execution.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (payload []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.payload, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("simsvc: run panicked: %v", r)
+			payload, err = nil, c.err
+		}
+		close(c.done)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.payload, c.err = fn()
+	return c.payload, c.err, false
+}

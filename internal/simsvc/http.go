@@ -1,0 +1,180 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server is the HTTP JSON API over a Scheduler.
+//
+//	POST /v1/runs     submit one RunSpec; 200 on a cache hit, 202 when
+//	                  queued, 400 on an invalid spec, 429 when the queue is
+//	                  full, 503 while draining
+//	GET  /v1/runs/{id} fetch a job (result payload included once done)
+//	POST /v1/sweeps   expand a load-rate range into one job per rate
+//	GET  /metrics     queue depth, cache counters, job latency percentiles
+//	GET  /healthz     liveness
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// submitStatus maps a submission error to its HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusAccepted
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	if err != nil {
+		writeJSON(w, submitStatus(err), apiError{Error: err.Error()})
+		return
+	}
+	status := http.StatusAccepted
+	if job.Status == StatusDone {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// sweepRequest expands into one job per applied-load rate: either an
+// explicit rate list, or a [from, to] range divided into steps points.
+type sweepRequest struct {
+	Spec  RunSpec   `json:"spec"`
+	Rates []float64 `json:"rates,omitempty"`
+	From  float64   `json:"from,omitempty"`
+	To    float64   `json:"to,omitempty"`
+	Steps int       `json:"steps,omitempty"`
+}
+
+// expand resolves the rate ladder.
+func (r sweepRequest) expand() ([]float64, error) {
+	if len(r.Rates) > 0 {
+		if r.From != 0 || r.To != 0 || r.Steps != 0 {
+			return nil, fmt.Errorf("simsvc: give either rates or from/to/steps, not both")
+		}
+		return r.Rates, nil
+	}
+	if r.Steps < 2 {
+		return nil, fmt.Errorf("simsvc: sweep needs at least 2 steps, got %d", r.Steps)
+	}
+	if !(r.From > 0) || !(r.To > r.From) || r.To > 1 {
+		return nil, fmt.Errorf("simsvc: sweep range wants 0 < from < to <= 1, got [%g, %g]", r.From, r.To)
+	}
+	rates := make([]float64, r.Steps)
+	for i := range rates {
+		rates[i] = r.From + (r.To-r.From)*float64(i)/float64(r.Steps-1)
+	}
+	return rates, nil
+}
+
+// sweepResponse lists the outcome per expanded rate. Submission stops at
+// the first queue-full/draining rejection — the remaining rates are
+// reported as rejected and the whole response carries that status code, so
+// a client retries the leftover suffix after backing off.
+type sweepResponse struct {
+	Jobs []sweepEntry `json:"jobs"`
+}
+
+type sweepEntry struct {
+	Rate  float64 `json:"rate"`
+	ID    string  `json:"id,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad sweep: " + err.Error()})
+		return
+	}
+	if req.Spec.TraceApp != "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "simsvc: trace runs have no load rate to sweep"})
+		return
+	}
+	rates, err := req.expand()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	resp := sweepResponse{Jobs: make([]sweepEntry, 0, len(rates))}
+	status := http.StatusAccepted
+	for i, rate := range rates {
+		spec := req.Spec
+		spec.Rate = rate
+		job, err := s.sched.Submit(spec)
+		if err != nil {
+			status = submitStatus(err)
+			for _, rest := range rates[i:] {
+				resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rest, Error: err.Error()})
+			}
+			break
+		}
+		resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, ID: job.ID})
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Metrics())
+}

@@ -1,0 +1,224 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer wires a scheduler behind httptest and tears both down.
+func newTestServer(t *testing.T, cfg SchedConfig) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store, _ = NewStore(16, "")
+	}
+	sched := NewScheduler(cfg)
+	srv := httptest.NewServer(NewServer(sched))
+	t.Cleanup(func() {
+		srv.Close()
+		sched.Drain(context.Background())
+	})
+	return srv, sched
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+const tinySpecJSON = `{"scheme":"PR","pattern":"PAT271","radix":[2,2],"rate":0.02,"warmup":-1,"measure":500}`
+
+func TestHTTPSubmitPollFetch(t *testing.T) {
+	srv, _ := newTestServer(t, SchedConfig{Workers: 2, QueueDepth: 8})
+
+	resp, body := postJSON(t, srv.URL+"/v1/runs", tinySpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.SpecHash == "" {
+		t.Fatalf("submit response missing id/hash: %s", body)
+	}
+
+	var done JobView
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, body := getJSON(t, srv.URL+"/v1/runs/"+v.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.Status == StatusDone {
+			break
+		}
+		if done.Status == StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %s", body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var r Result
+	if err := json.Unmarshal(done.Result, &r); err != nil {
+		t.Fatalf("result payload: %v in %s", err, done.Result)
+	}
+	if r.SpecHash != v.SpecHash || r.Summary.Digest == "" {
+		t.Errorf("result inconsistent: hash %q vs %q, digest %q", r.SpecHash, v.SpecHash, r.Summary.Digest)
+	}
+
+	// Resubmitting the identical spec is answered 200 from the cache with a
+	// byte-identical result payload.
+	resp2, body2 := postJSON(t, srv.URL+"/v1/runs", tinySpecJSON)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat submit: %d %s", resp2.StatusCode, body2)
+	}
+	var repeat JobView
+	if err := json.Unmarshal(body2, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.Cached || repeat.Status != StatusDone {
+		t.Errorf("repeat submit not served from cache: %s", body2)
+	}
+	if !bytes.Equal(repeat.Result, done.Result) {
+		t.Errorf("cached HTTP result not byte-identical:\n%s\nvs\n%s", repeat.Result, done.Result)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 4})
+
+	for name, body := range map[string]string{
+		"malformed json": `{"scheme":`,
+		"unknown field":  `{"scheme":"PR","frobnicate":1}`,
+		"invalid spec":   `{"scheme":"bogus"}`,
+		"bad rate":       `{"rate":2.0}`,
+	} {
+		resp, b := postJSON(t, srv.URL+"/v1/runs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, b)
+		}
+		var e apiError
+		if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: no error body: %s", name, b)
+		}
+	}
+
+	if resp, _ := getJSON(t, srv.URL+"/v1/runs/j-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 1})
+
+	// Occupy the worker, then the single queue slot, with distinct specs.
+	first, err := sched.Submit(slowSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, sched, first.ID)
+	if _, err := sched.Submit(slowSpec(22)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/runs",
+		`{"scheme":"PR","pattern":"PAT271","radix":[4,4],"rate":0.02,"warmup":-1,"measure":30000,"seed":23}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPSweep(t *testing.T) {
+	srv, _ := newTestServer(t, SchedConfig{Workers: 2, QueueDepth: 16})
+
+	resp, body := postJSON(t, srv.URL+"/v1/sweeps",
+		`{"spec":`+tinySpecJSON+`,"from":0.01,"to":0.04,"steps":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Jobs) != 4 {
+		t.Fatalf("sweep expanded to %d jobs, want 4", len(sr.Jobs))
+	}
+	seen := map[string]bool{}
+	for i, j := range sr.Jobs {
+		if j.ID == "" || j.Error != "" {
+			t.Errorf("sweep job %d rejected: %+v", i, j)
+		}
+		if seen[j.ID] {
+			t.Errorf("duplicate job id %s", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	if sr.Jobs[0].Rate != 0.01 || sr.Jobs[3].Rate != 0.04 {
+		t.Errorf("sweep endpoints wrong: %+v", sr.Jobs)
+	}
+
+	for name, body := range map[string]string{
+		"rates and range": `{"spec":` + tinySpecJSON + `,"rates":[0.01],"from":0.01,"to":0.1,"steps":3}`,
+		"one step":        `{"spec":` + tinySpecJSON + `,"from":0.01,"to":0.1,"steps":1}`,
+		"inverted range":  `{"spec":` + tinySpecJSON + `,"from":0.2,"to":0.1,"steps":3}`,
+		"trace sweep":     `{"spec":{"trace_app":"FFT"},"from":0.01,"to":0.1,"steps":3}`,
+	} {
+		resp, b := postJSON(t, srv.URL+"/v1/sweeps", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, resp.StatusCode, b)
+		}
+	}
+}
+
+func TestHTTPMetricsAndHealth(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 2, QueueDepth: 8})
+
+	mustFinish(t, sched, tinySpec())
+	mustFinish(t, sched, tinySpec())
+
+	resp, body := getJSON(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics body: %v in %s", err, body)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Executed != 1 || m.JobsDone != 2 {
+		t.Errorf("metrics counters wrong: %s", body)
+	}
+	if m.JobLatencyUS.Count != 1 || m.JobLatencyUS.P50 <= 0 {
+		t.Errorf("latency histogram empty: %s", body)
+	}
+
+	if resp, _ := getJSON(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,144 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracegen"
+	"repro/internal/traffic"
+)
+
+// Summary is the deterministic outcome of one run: everything here is a
+// pure function of the normalized spec, which is what makes Result
+// payloads cacheable byte-for-byte. Wall-clock timings deliberately live
+// on the job record, not here.
+type Summary struct {
+	Throughput          float64 `json:"throughput"`
+	AvgLatency          float64 `json:"avg_latency"`
+	LatencyP50          int64   `json:"latency_p50"`
+	LatencyP95          int64   `json:"latency_p95"`
+	LatencyP99          int64   `json:"latency_p99"`
+	AvgTxnLatency       float64 `json:"avg_txn_latency"`
+	DeliveredMessages   int64   `json:"delivered_messages"`
+	DeliveredFlits      int64   `json:"delivered_flits"`
+	Transactions        int64   `json:"transactions"`
+	DetectEvents        int64   `json:"detect_events"`
+	Deflections         int64   `json:"deflections"`
+	Rescues             int64   `json:"rescues"`
+	Deadlocks           int64   `json:"deadlocks"`
+	NormalizedDeadlocks float64 `json:"normalized_deadlocks"`
+	Drained             bool    `json:"drained"`
+	// Digest is the FNV-1a fingerprint of the complete delivery log; equal
+	// digests mean behaviourally identical runs (internal/check).
+	Digest     string `json:"digest"`
+	Deliveries int64  `json:"deliveries"`
+	// InvariantChecks counts completed checker sweeps when the spec
+	// requested checking.
+	InvariantChecks int64 `json:"invariant_checks,omitempty"`
+}
+
+// Result is the cached payload for one spec hash.
+type Result struct {
+	SpecHash string  `json:"spec_hash"`
+	Spec     RunSpec `json:"spec"`
+	Summary  Summary `json:"summary"`
+}
+
+// buildNetwork constructs the network a normalized spec describes,
+// including the trace-driven source for TraceApp specs.
+func buildNetwork(spec RunSpec) (*network.Network, error) {
+	cfg, err := spec.config()
+	if err != nil {
+		return nil, err
+	}
+	if spec.TraceApp == "" {
+		return network.New(cfg)
+	}
+	app, ok := tracegen.AppByName(spec.TraceApp)
+	if !ok {
+		return nil, fmt.Errorf("simsvc: unknown trace app %q", spec.TraceApp)
+	}
+	return network.NewWithSource(cfg, func(e *protocol.Engine, t *protocol.Table, rng *sim.RNG, endpoints int) traffic.Source {
+		g := tracegen.NewGenerator(app, endpoints, spec.Seed)
+		tr := g.Generate(spec.Measure)
+		p, perr := tracegen.NewPlayer(tr, e, t, rng, endpoints)
+		if perr != nil {
+			panic(perr)
+		}
+		return p
+	})
+}
+
+// Execute runs a normalized spec to completion and returns the marshalled
+// Result payload. The run is stepped through the experiments runner, so a
+// cancelled or timed-out ctx aborts mid-simulation; aborted or
+// invariant-violating runs return an error and must not be cached. A
+// non-nil bus receives the run's trace events (the caller serializes sinks
+// across concurrent jobs with obs.Locked).
+func Execute(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
+	n, err := buildNetwork(spec)
+	if err != nil {
+		return nil, err
+	}
+	if bus != nil {
+		n.AttachObs(bus)
+	}
+	var checker *check.Checker
+	if spec.Check {
+		checker = check.Attach(n, check.Options{})
+	}
+	dig := check.AttachDigest(n)
+	if err := experiments.RunNetwork(ctx, n); err != nil {
+		return nil, err
+	}
+	if checker != nil {
+		if vs := checker.Violations(); len(vs) > 0 {
+			return nil, fmt.Errorf("simsvc: invariant violation: %s", vs[0].Format())
+		}
+	}
+	res := Result{
+		SpecHash: spec.Hash(),
+		Spec:     spec,
+		Summary:  summarize(n.Stats, n, dig, checker),
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// summarize converts collected statistics into the deterministic summary.
+func summarize(st *stats.Collector, n *network.Network, dig *check.Digest, checker *check.Checker) Summary {
+	s := Summary{
+		Throughput:          st.Throughput(),
+		AvgLatency:          st.AvgLatency(),
+		LatencyP50:          st.LatencyP50(),
+		LatencyP95:          st.LatencyP95(),
+		LatencyP99:          st.LatencyP99(),
+		AvgTxnLatency:       st.AvgTxnLatency(),
+		DeliveredMessages:   st.DeliveredMsgs,
+		DeliveredFlits:      st.DeliveredFlits,
+		Transactions:        st.TxnCompleted,
+		DetectEvents:        st.DetectEvents,
+		Deflections:         st.Deflections,
+		Rescues:             st.Rescues,
+		Deadlocks:           st.CWGDeadlocks,
+		NormalizedDeadlocks: st.NormalizedDeadlocks(),
+		Drained:             n.Quiescent(),
+		Digest:              dig.String(),
+		Deliveries:          dig.Count(),
+	}
+	if checker != nil {
+		s.InvariantChecks = checker.Checks()
+	}
+	return s
+}

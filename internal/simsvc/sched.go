@@ -1,0 +1,400 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned when the FIFO queue is at its depth limit;
+	// the API surfaces it as HTTP 429 so clients back off.
+	ErrQueueFull = errors.New("simsvc: job queue full")
+	// ErrDraining is returned once shutdown has begun; accepted jobs still
+	// finish but no new work is admitted.
+	ErrDraining = errors.New("simsvc: scheduler draining")
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// SchedConfig parameterizes a Scheduler.
+type SchedConfig struct {
+	// Workers is the simulation worker-pool size (default 1).
+	Workers int
+	// QueueDepth is the hard FIFO depth limit (default 16). Submissions
+	// beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout bounds each job's simulation wall time (0 = unbounded);
+	// a timed-out job fails with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// Store is the result cache (required).
+	Store *Store
+	// Bus, when non-nil, receives job lifecycle events and every job's
+	// simulation trace events. Its sinks are shared across concurrent
+	// workers, so wrap them with obs.Locked.
+	Bus *obs.Bus
+}
+
+// job is the scheduler-internal record; all fields below mu-guarded ones
+// are written only before enqueue.
+type job struct {
+	id   string
+	hash string
+	spec RunSpec
+
+	// Guarded by Scheduler.mu.
+	status   Status
+	cached   bool
+	errMsg   string
+	payload  []byte
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobView is the API-facing snapshot of a job.
+type JobView struct {
+	ID       string  `json:"id"`
+	SpecHash string  `json:"spec_hash"`
+	Spec     RunSpec `json:"spec"`
+	Status   Status  `json:"status"`
+	// Cached reports that the job was answered from the result store or
+	// coalesced onto an identical in-flight run instead of simulating.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+	// Result is the cached payload (a Result object), present once done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Scheduler owns the worker pool, the bounded FIFO queue, and the job
+// table. It layers on the experiments runner for execution and on Store +
+// flightGroup for deduplication.
+type Scheduler struct {
+	cfg    SchedConfig
+	queue  chan *job
+	flight flightGroup
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int64
+	draining bool
+	running  int
+	accepted int64
+	done     int64
+	failed   int64
+	hits     int64
+	misses   int64
+	coalesce int64
+	executed int64
+	latency  *stats.LatencyHist
+}
+
+// NewScheduler builds and starts a scheduler.
+func NewScheduler(cfg SchedConfig) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		latency: &stats.LatencyHist{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit normalizes and admits one spec. A spec whose result is already
+// cached completes immediately without consuming a queue slot; otherwise
+// the job joins the FIFO queue, failing fast with ErrQueueFull at the
+// depth limit or ErrDraining during shutdown.
+func (s *Scheduler) Submit(spec RunSpec) (JobView, error) {
+	norm, err := spec.Normalized()
+	if err != nil {
+		return JobView{}, err
+	}
+	hash := norm.Hash()
+
+	j := &job{hash: hash, spec: norm, enqueued: time.Now()}
+
+	if payload, ok := s.cfg.Store.Get(hash); ok {
+		s.mu.Lock()
+		s.hits++
+		s.done++
+		s.register(j)
+		j.status = StatusDone
+		j.cached = true
+		j.payload = payload
+		j.finished = time.Now()
+		v := j.view()
+		s.mu.Unlock()
+		s.emitJob(obs.KindJobDone, j, "cache-hit")
+		return v, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+	s.misses++
+	s.register(j)
+	j.status = StatusQueued
+	v := j.view()
+	s.mu.Unlock()
+	s.emitJob(obs.KindJobAccepted, j, "")
+	return v, nil
+}
+
+// register assigns an ID and indexes the job; callers hold s.mu.
+func (s *Scheduler) register(j *job) {
+	s.seq++
+	s.accepted++
+	j.id = fmt.Sprintf("j-%06d", s.seq)
+	s.jobs[j.id] = j
+}
+
+// Job returns a snapshot of one job.
+func (s *Scheduler) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// view snapshots a job; callers hold s.mu.
+func (j *job) view() JobView {
+	v := JobView{
+		ID:       j.id,
+		SpecHash: j.hash,
+		Spec:     j.spec,
+		Status:   j.status,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+	}
+	if j.status == StatusDone {
+		v.Result = json.RawMessage(j.payload)
+	}
+	return v
+}
+
+// worker drains the queue until it is closed, executing (or deduplicating)
+// one job at a time.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job: recheck the cache (an identical job may
+// have finished while this one queued), then coalesce onto or start the
+// one real simulation for this hash, then publish the outcome.
+func (s *Scheduler) runJob(j *job) {
+	s.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	s.running++
+	s.mu.Unlock()
+	s.emitJob(obs.KindJobStart, j, "")
+
+	var fromCache, sharedRun bool
+	payload, ok := s.cfg.Store.Get(j.hash)
+	if ok {
+		fromCache = true
+	} else {
+		var err error
+		payload, err, sharedRun = s.flight.do(j.hash, func() ([]byte, error) {
+			ctx := s.baseCtx
+			var cancel context.CancelFunc = func() {}
+			if s.cfg.JobTimeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			}
+			defer cancel()
+			s.mu.Lock()
+			s.executed++
+			s.mu.Unlock()
+			p, err := Execute(ctx, j.spec, s.cfg.Bus)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.cfg.Store.Put(j.hash, p); err != nil {
+				// The result is still valid and cached in memory by Put's
+				// insert; only persistence failed. Serve it.
+				s.emitJob(obs.KindJobDone, j, "disk-write-failed: "+err.Error())
+			}
+			return p, nil
+		})
+		if err != nil {
+			s.finish(j, nil, false, err)
+			return
+		}
+	}
+	s.finish(j, payload, fromCache || sharedRun, nil)
+}
+
+// finish publishes a job outcome and records its latency.
+func (s *Scheduler) finish(j *job, payload []byte, cached bool, err error) {
+	s.mu.Lock()
+	j.finished = time.Now()
+	s.running--
+	if err != nil {
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		s.failed++
+	} else {
+		j.status = StatusDone
+		j.payload = payload
+		j.cached = cached
+		s.done++
+		if cached {
+			// A queued job answered without its own simulation: either the
+			// cache filled while it waited, or it piggybacked on an
+			// identical in-flight run.
+			s.coalesce++
+		}
+	}
+	s.latency.Add(j.finished.Sub(j.started).Microseconds())
+	s.mu.Unlock()
+	note := "ok"
+	if err != nil {
+		note = err.Error()
+	} else if cached {
+		note = "deduplicated"
+	}
+	s.emitJob(obs.KindJobDone, j, note)
+}
+
+// emitJob publishes a job lifecycle event on the configured bus.
+func (s *Scheduler) emitJob(kind obs.Kind, j *job, note string) {
+	if s.cfg.Bus == nil {
+		return
+	}
+	msg := j.id + " hash=" + j.hash
+	if note != "" {
+		msg += " " + note
+	}
+	s.cfg.Bus.Emit(obs.Event{Kind: kind, Node: -1, Note: msg})
+}
+
+// Drain begins graceful shutdown: new submissions are rejected with
+// ErrDraining, every already-accepted job (queued or running) completes,
+// and workers exit. If ctx expires first, in-flight simulations are
+// cancelled — their jobs fail with ctx.Err() rather than being lost — and
+// Drain returns the ctx error.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Workers    int  `json:"workers"`
+	Running    int  `json:"running"`
+	Draining   bool `json:"draining"`
+
+	JobsAccepted int64 `json:"jobs_accepted"`
+	JobsDone     int64 `json:"jobs_done"`
+	JobsFailed   int64 `json:"jobs_failed"`
+
+	Cache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Coalesced int64 `json:"coalesced"`
+		Executed  int64 `json:"executed"`
+		Entries   int   `json:"entries"`
+	} `json:"cache"`
+
+	// Job wall latency (queue pickup to completion) in microseconds, from
+	// internal/stats' log-bucketed histogram.
+	JobLatencyUS struct {
+		P50   int64 `json:"p50"`
+		P95   int64 `json:"p95"`
+		P99   int64 `json:"p99"`
+		Max   int64 `json:"max"`
+		Count int64 `json:"count"`
+	} `json:"job_latency_us"`
+}
+
+// Metrics snapshots scheduler and cache state.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m Metrics
+	m.QueueDepth = len(s.queue)
+	m.QueueCap = s.cfg.QueueDepth
+	m.Workers = s.cfg.Workers
+	m.Running = s.running
+	m.Draining = s.draining
+	m.JobsAccepted = s.accepted
+	m.JobsDone = s.done
+	m.JobsFailed = s.failed
+	m.Cache.Hits = s.hits
+	m.Cache.Misses = s.misses
+	m.Cache.Coalesced = s.coalesce
+	m.Cache.Executed = s.executed
+	m.Cache.Entries = s.cfg.Store.Len()
+	m.JobLatencyUS.P50 = s.latency.P50()
+	m.JobLatencyUS.P95 = s.latency.P95()
+	m.JobLatencyUS.P99 = s.latency.P99()
+	m.JobLatencyUS.Max = s.latency.Max()
+	m.JobLatencyUS.Count = s.latency.Count()
+	return m
+}

@@ -1,0 +1,245 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// slowSpec returns a run long enough (~hundreds of ms) that it is still
+// simulating while the test manipulates the queue around it. Distinct
+// seeds make distinct spec hashes, defeating the cache and singleflight.
+func slowSpec(seed uint64) RunSpec {
+	s := tinySpec()
+	s.Seed = seed
+	s.Measure = 30000
+	s.Radix = []int{4, 4}
+	return s
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 2, Store: store})
+	defer sched.Drain(context.Background())
+
+	// One slow job occupies the single worker; once it is off the queue
+	// and running, two more fill the queue to its depth limit.
+	ids := make([]string, 0, 3)
+	first, err := sched.Submit(slowSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, first.ID)
+	waitRunning(t, sched, first.ID)
+	for seed := uint64(2); seed <= 3; seed++ {
+		v, err := sched.Submit(slowSpec(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if _, err := sched.Submit(slowSpec(4)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit beyond depth limit: err = %v, want ErrQueueFull", err)
+	}
+	// A cached spec still completes while the queue is full: cache hits
+	// bypass the queue entirely.
+	warm, err := tinySpec().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := Execute(context.Background(), warm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(warm.Hash(), payload)
+	v, err := sched.Submit(tinySpec())
+	if err != nil || v.Status != StatusDone || !v.Cached {
+		t.Errorf("cached submit during backpressure: %+v, %v", v, err)
+	}
+	// The earlier accepted jobs all still finish.
+	for _, id := range ids {
+		waitDone(t, sched, id)
+	}
+}
+
+// waitRunning polls until a job leaves the queue.
+func waitRunning(t *testing.T, sched *Scheduler, id string) {
+	t.Helper()
+	for i := 0; i < 20000; i++ {
+		v, ok := sched.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.Status != StatusQueued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never left the queue", id)
+}
+
+func TestDrainRejectsNewAndLosesNothing(t *testing.T) {
+	store, _ := NewStore(16, "")
+	sched := NewScheduler(SchedConfig{Workers: 2, QueueDepth: 8, Store: store})
+
+	const jobs = 5
+	ids := make([]string, jobs)
+	for i := range ids {
+		v, err := sched.Submit(slowSpec(uint64(100 + i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = v.ID
+	}
+
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := sched.Submit(slowSpec(999)); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: err = %v, want ErrDraining", err)
+	}
+	// Every job accepted before the drain completed; none were dropped.
+	for i, id := range ids {
+		v, ok := sched.Job(id)
+		if !ok {
+			t.Fatalf("job %d (%s) lost during drain", i, id)
+		}
+		if v.Status != StatusDone {
+			t.Errorf("job %s: status %s after drain, want done (err %q)", id, v.Status, v.Error)
+		}
+		if len(v.Result) == 0 {
+			t.Errorf("job %s: drained without a result payload", id)
+		}
+	}
+	m := sched.Metrics()
+	if !m.Draining {
+		t.Error("metrics do not report draining")
+	}
+	if m.JobsDone != jobs || m.JobsFailed != 0 {
+		t.Errorf("done=%d failed=%d, want %d/0", m.JobsDone, m.JobsFailed, jobs)
+	}
+	// Drain is idempotent.
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+func TestJobTimeoutFails(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{
+		Workers: 1, QueueDepth: 4, Store: store,
+		JobTimeout: time.Nanosecond,
+	})
+	defer sched.Drain(context.Background())
+
+	v, err := sched.Submit(slowSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		j, ok := sched.Job(v.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if j.Status == StatusFailed {
+			if j.Error == "" {
+				t.Error("failed job carries no error message")
+			}
+			break
+		}
+		if j.Status == StatusDone {
+			t.Fatal("job completed despite 1ns timeout")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", j.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m := sched.Metrics(); m.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", m.JobsFailed)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{Workers: 2, QueueDepth: 8, Store: store})
+	defer sched.Drain(context.Background())
+
+	mustFinish(t, sched, tinySpec()) // cold: miss + executed
+	mustFinish(t, sched, tinySpec()) // warm: submit-time hit
+	m := sched.Metrics()
+	if m.Cache.Misses != 1 || m.Cache.Executed != 1 {
+		t.Errorf("misses=%d executed=%d, want 1/1", m.Cache.Misses, m.Cache.Executed)
+	}
+	if m.Cache.Hits != 1 {
+		t.Errorf("hits=%d, want 1", m.Cache.Hits)
+	}
+	if m.JobsAccepted != 2 || m.JobsDone != 2 {
+		t.Errorf("accepted=%d done=%d, want 2/2", m.JobsAccepted, m.JobsDone)
+	}
+	if m.JobLatencyUS.Count != 1 {
+		// Only the executed job went through a worker; the hit completed
+		// at submit time and records no queue-to-done latency.
+		t.Errorf("latency count = %d, want 1", m.JobLatencyUS.Count)
+	}
+	if m.QueueCap != 8 || m.Workers != 2 {
+		t.Errorf("static config wrong: %+v", m)
+	}
+}
+
+func TestSubmitInvalidSpec(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 2, Store: store})
+	defer sched.Drain(context.Background())
+
+	if _, err := sched.Submit(RunSpec{Scheme: "bogus"}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if m := sched.Metrics(); m.JobsAccepted != 0 {
+		t.Errorf("invalid spec counted as accepted: %+v", m)
+	}
+}
+
+func TestExpiredDrainCancelsInFlight(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 4, Store: store})
+
+	v, err := sched.Submit(slowSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := sched.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with expired budget: err = %v", err)
+	}
+	// The in-flight job was cancelled, not lost: it is present and failed.
+	j, ok := sched.Job(v.ID)
+	if !ok {
+		t.Fatal("job lost by expired drain")
+	}
+	if j.Status != StatusFailed {
+		t.Errorf("status %s after forced drain, want failed", j.Status)
+	}
+}
+
+func TestJobIDsAreSequential(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{Workers: 1, QueueDepth: 8, Store: store})
+	defer sched.Drain(context.Background())
+
+	for i := 1; i <= 3; i++ {
+		spec := tinySpec()
+		spec.Seed = uint64(i)
+		v, err := sched.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("j-%06d", i); v.ID != want {
+			t.Errorf("job %d: ID %s, want %s", i, v.ID, want)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package simsvc turns the simulator into a long-running service: a
+// canonical run specification with a content hash, an LRU + on-disk
+// result cache keyed by that hash, a bounded job scheduler with
+// singleflight deduplication, and an HTTP JSON API. Because runs are
+// bit-deterministic functions of their configuration (PR 3's delivery
+// digests prove it), a spec hash is a perfect cache key: any sweep point
+// ever computed can be served back byte-identically without re-simulating.
+package simsvc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netiface"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+	"repro/internal/tracegen"
+)
+
+// RunSpec is the canonical description of one simulation run. JSON field
+// names are the wire format of the HTTP API. Zero values mean "use the
+// default" (listed per field); the sentinel -1 requests the literal zero
+// where that is meaningful (warmup, drain, CWG scanning, outstanding
+// bound). Normalized resolves every default, so two specs that differ only
+// in explicitness hash identically.
+type RunSpec struct {
+	// Scheme is the deadlock-handling technique: SA, DR, PR, SQ, or AB.
+	// Default PR.
+	Scheme string `json:"scheme,omitempty"`
+	// Pattern names a synthetic transaction pattern (PAT100, PAT721,
+	// PAT451, PAT271, PAT280, MSI). Default PAT271. Mutually exclusive
+	// with TraceApp.
+	Pattern string `json:"pattern,omitempty"`
+	// TraceApp selects a trace-driven run instead of a synthetic one:
+	// FFT, LU, Radix, or Water. The MSI pattern, zero warmup, and the
+	// Section 4.2.1 detector settings are implied; Measure is the trace
+	// length in cycles.
+	TraceApp string `json:"trace_app,omitempty"`
+	// Radix gives per-dimension router counts. Default [8,8]; trace runs
+	// default [4,4].
+	Radix []int `json:"radix,omitempty"`
+	// Mesh drops the wraparound links.
+	Mesh bool `json:"mesh,omitempty"`
+	// Bristling is processors per router (default 1).
+	Bristling int `json:"bristling,omitempty"`
+	// VCs is virtual channels per link (default 4).
+	VCs int `json:"vcs,omitempty"`
+	// FlitBuf is flit buffers per VC (default 2).
+	FlitBuf int `json:"flitbuf,omitempty"`
+	// QueueCap is the endpoint message-queue size (default 16).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// QueueMode overrides the scheme's canonical queue arrangement:
+	// "default", "shared", "class", or "type".
+	QueueMode string `json:"queue_mode,omitempty"`
+	// ServiceTime is memory-controller occupancy per message (default 40).
+	ServiceTime int `json:"service_time,omitempty"`
+	// Rate is the request-generation probability per node per cycle
+	// (default 0.01). Must be 0 for trace runs.
+	Rate float64 `json:"rate,omitempty"`
+	// MaxOutstanding bounds in-flight transactions per node (default 16;
+	// -1 unbounded).
+	MaxOutstanding int `json:"max_outstanding,omitempty"`
+	// Seed drives all randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Warmup, Measure, MaxDrain are the run phases in cycles. Defaults
+	// 2000/8000/10000 for synthetic runs; trace runs force Warmup 0 and
+	// default Measure (the trace length) to 50000. -1 means zero.
+	Warmup   int64 `json:"warmup,omitempty"`
+	Measure  int64 `json:"measure,omitempty"`
+	MaxDrain int64 `json:"max_drain,omitempty"`
+	// CWGInterval is the channel-wait-for-graph scan period (default 50;
+	// -1 disables scanning).
+	CWGInterval int64 `json:"cwg_interval,omitempty"`
+	// Check attaches the runtime invariant checker; a violation fails the
+	// job instead of caching a corrupted result.
+	Check bool `json:"check,omitempty"`
+}
+
+// resolveSentinel maps the 0-means-default / -1-means-zero convention.
+func resolveSentinel(v, def int64) (int64, error) {
+	switch {
+	case v == 0:
+		return def, nil
+	case v == -1:
+		return 0, nil
+	case v < 0:
+		return 0, fmt.Errorf("negative value %d (use -1 for an explicit zero)", v)
+	}
+	return v, nil
+}
+
+// Normalized resolves every default and validates the spec, returning the
+// fully explicit form that Canonical and Hash operate on. The returned
+// spec round-trips: normalizing it again is the identity.
+func (s RunSpec) Normalized() (RunSpec, error) {
+	n := s
+
+	if n.Scheme == "" {
+		n.Scheme = "PR"
+	}
+	kind, err := schemes.KindByName(n.Scheme)
+	if err != nil {
+		return n, err
+	}
+	n.Scheme = kind.String()
+
+	if n.TraceApp != "" {
+		if s.Pattern != "" && s.Pattern != protocol.MSI.Name {
+			return n, fmt.Errorf("simsvc: trace run implies the MSI pattern, got %q", s.Pattern)
+		}
+		if s.Rate != 0 {
+			return n, fmt.Errorf("simsvc: rate is meaningless for trace runs")
+		}
+		app, ok := tracegen.AppByName(n.TraceApp)
+		if !ok {
+			return n, fmt.Errorf("simsvc: unknown trace app %q (want FFT, LU, Radix, or Water)", n.TraceApp)
+		}
+		n.TraceApp = app.Name
+		n.Pattern = protocol.MSI.Name
+		if s.Warmup != 0 && s.Warmup != -1 {
+			return n, fmt.Errorf("simsvc: trace runs have no warmup phase")
+		}
+		n.Warmup = 0
+	} else {
+		if n.Pattern == "" {
+			n.Pattern = protocol.PAT271.Name
+		}
+		pat, err := patternByName(n.Pattern)
+		if err != nil {
+			return n, err
+		}
+		n.Pattern = pat.Name
+		if n.Rate == 0 {
+			n.Rate = 0.01
+		}
+		if n.Rate < 0 || n.Rate > 1 {
+			return n, fmt.Errorf("simsvc: rate %g out of [0,1]", n.Rate)
+		}
+		if n.Warmup, err = resolveSentinel(n.Warmup, 2000); err != nil {
+			return n, fmt.Errorf("simsvc: warmup: %w", err)
+		}
+	}
+
+	if len(n.Radix) == 0 {
+		if n.TraceApp != "" {
+			n.Radix = []int{4, 4}
+		} else {
+			n.Radix = []int{8, 8}
+		}
+	}
+	for _, r := range n.Radix {
+		if r < 2 {
+			return n, fmt.Errorf("simsvc: radix %v: each dimension needs at least 2 routers", n.Radix)
+		}
+	}
+	if n.Bristling == 0 {
+		n.Bristling = 1
+	}
+	if n.Bristling < 1 {
+		return n, fmt.Errorf("simsvc: bristling %d below 1", n.Bristling)
+	}
+	if n.VCs == 0 {
+		n.VCs = 4
+	}
+	if n.FlitBuf == 0 {
+		n.FlitBuf = 2
+	}
+	if n.QueueCap == 0 {
+		n.QueueCap = 16
+	}
+	if n.ServiceTime == 0 {
+		n.ServiceTime = 40
+	}
+	if n.QueueMode == "" {
+		n.QueueMode = "default"
+	}
+	qmode, err := queueModeByName(n.QueueMode)
+	if err != nil {
+		return n, err
+	}
+	var mo int64
+	if mo, err = resolveSentinel(int64(n.MaxOutstanding), 16); err != nil {
+		return n, fmt.Errorf("simsvc: max_outstanding: %w", err)
+	}
+	n.MaxOutstanding = int(mo)
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	defMeasure := int64(8000)
+	if n.TraceApp != "" {
+		defMeasure = 50000
+	}
+	if n.Measure == 0 {
+		n.Measure = defMeasure
+	}
+	if n.Measure < 1 {
+		return n, fmt.Errorf("simsvc: measure %d below 1 cycle", n.Measure)
+	}
+	if n.MaxDrain, err = resolveSentinel(n.MaxDrain, 10000); err != nil {
+		return n, fmt.Errorf("simsvc: max_drain: %w", err)
+	}
+	if n.CWGInterval, err = resolveSentinel(n.CWGInterval, 50); err != nil {
+		return n, fmt.Errorf("simsvc: cwg_interval: %w", err)
+	}
+
+	// Full configuration validation, without building a network: the
+	// generic parameter checks plus the scheme's validity envelope at
+	// this VC count and pattern (SA needs enough channels for the chain
+	// length, DR rejects chain-2 patterns, SQ needs sufficient queues).
+	cfg, err := n.config()
+	if err != nil {
+		return n, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return n, err
+	}
+	escape := 2 // torus dateline pair
+	if n.Mesh {
+		escape = 1
+	}
+	if _, err := schemes.NewWithOptions(cfg.Scheme, cfg.Pattern, cfg.VCs, qmode, false, escape); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// queueModeByName maps the wire names onto netiface queue modes.
+func queueModeByName(s string) (netiface.QueueMode, error) {
+	switch s {
+	case "default":
+		return -1, nil
+	case "shared":
+		return netiface.QueueShared, nil
+	case "class":
+		return netiface.QueuePerClass, nil
+	case "type":
+		return netiface.QueuePerType, nil
+	}
+	return 0, fmt.Errorf("simsvc: unknown queue mode %q (want default, shared, class, or type)", s)
+}
+
+// config maps a normalized spec onto the simulator configuration.
+// patternByName resolves a pattern name, including MSI, which the
+// protocol package keeps out of its synthetic-pattern registry.
+func patternByName(name string) (*protocol.Pattern, error) {
+	if name == protocol.MSI.Name {
+		return protocol.MSI, nil
+	}
+	return protocol.PatternByName(name)
+}
+
+func (s RunSpec) config() (network.Config, error) {
+	cfg := network.DefaultConfig()
+	kind, err := schemes.KindByName(s.Scheme)
+	if err != nil {
+		return cfg, err
+	}
+	pat, err := patternByName(s.Pattern)
+	if err != nil {
+		return cfg, err
+	}
+	qmode, err := queueModeByName(s.QueueMode)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Scheme = kind
+	cfg.Pattern = pat
+	cfg.Radix = s.Radix
+	cfg.Mesh = s.Mesh
+	cfg.Bristling = s.Bristling
+	cfg.VCs = s.VCs
+	cfg.FlitBuf = s.FlitBuf
+	cfg.QueueCap = s.QueueCap
+	cfg.QueueMode = qmode
+	cfg.ServiceTime = s.ServiceTime
+	cfg.Rate = s.Rate
+	cfg.MaxOutstanding = s.MaxOutstanding
+	cfg.Seed = s.Seed
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = s.Warmup, s.Measure, s.MaxDrain
+	cfg.CWGInterval = s.CWGInterval
+	if s.TraceApp != "" {
+		// The Section 4.2.1 trace-driven settings (internal/experiments'
+		// traceConfig): application loads sit far below saturation, so a
+		// laxer detector avoids spurious rescues during bursts.
+		cfg.Rate = 0
+		cfg.RouterTimeout = 100
+		cfg.DetectThreshold = 100
+	}
+	return cfg, nil
+}
+
+// Canonical renders a normalized spec as a fixed-order key=value encoding,
+// the preimage of Hash. Every field is always present, so the encoding is
+// injective over normalized specs and stable across code changes that only
+// reorder struct fields.
+func (s RunSpec) Canonical() string {
+	var b strings.Builder
+	radix := make([]string, len(s.Radix))
+	for i, r := range s.Radix {
+		radix[i] = strconv.Itoa(r)
+	}
+	kv := [...]struct{ k, v string }{
+		{"scheme", s.Scheme},
+		{"pattern", s.Pattern},
+		{"trace_app", s.TraceApp},
+		{"radix", strings.Join(radix, "x")},
+		{"mesh", strconv.FormatBool(s.Mesh)},
+		{"bristling", strconv.Itoa(s.Bristling)},
+		{"vcs", strconv.Itoa(s.VCs)},
+		{"flitbuf", strconv.Itoa(s.FlitBuf)},
+		{"queue_cap", strconv.Itoa(s.QueueCap)},
+		{"queue_mode", s.QueueMode},
+		{"service_time", strconv.Itoa(s.ServiceTime)},
+		{"rate", strconv.FormatFloat(s.Rate, 'g', -1, 64)},
+		{"max_outstanding", strconv.Itoa(s.MaxOutstanding)},
+		{"seed", strconv.FormatUint(s.Seed, 10)},
+		{"warmup", strconv.FormatInt(s.Warmup, 10)},
+		{"measure", strconv.FormatInt(s.Measure, 10)},
+		{"max_drain", strconv.FormatInt(s.MaxDrain, 10)},
+		{"cwg_interval", strconv.FormatInt(s.CWGInterval, 10)},
+		{"check", strconv.FormatBool(s.Check)},
+	}
+	for _, e := range kv {
+		b.WriteString(e.k)
+		b.WriteByte('=')
+		b.WriteString(e.v)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FNV-1a 64-bit parameters (the same fingerprint family as the delivery
+// digests in internal/check).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash returns the 16-hex-digit content hash of a normalized spec — the
+// cache key and the /v1/runs spec_hash.
+func (s RunSpec) Hash() string {
+	h := fnvOffset
+	for _, c := range []byte(s.Canonical()) {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return fmt.Sprintf("%016x", h)
+}

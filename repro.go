@@ -24,6 +24,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/netiface"
@@ -165,9 +166,9 @@ type Series = stats.Series
 
 // SweepLoads runs the configuration across an applied-load ladder and
 // returns the BNF series, stopping just beyond saturation as the paper's
-// evaluations do.
-func SweepLoads(cfg Config, rates []float64, name string) (Series, error) {
-	return experimentsSweep(cfg, rates, name)
+// evaluations do. Cancelling ctx stops the sweep mid-run.
+func SweepLoads(ctx context.Context, cfg Config, rates []float64, name string) (Series, error) {
+	return experimentsSweep(ctx, cfg, rates, name)
 }
 
 // FormatSeries renders BNF series as an aligned text table.

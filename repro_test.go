@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestSweepLoadsPublic(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Scheme = PR
 	cfg.Pattern = PAT100
-	s, err := SweepLoads(cfg, []float64{0.002, 0.008}, "pr")
+	s, err := SweepLoads(context.Background(), cfg, []float64{0.002, 0.008}, "pr")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +78,13 @@ func TestSweepLoadsPublic(t *testing.T) {
 
 func TestRunExperimentDispatch(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunExperiment("table1", ScaleSmoke, &buf); err != nil {
+	if err := RunExperiment(context.Background(), "table1", ScaleSmoke, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Water") {
 		t.Fatal("table1 output incomplete")
 	}
-	if err := RunExperiment("nonsense", ScaleSmoke, &buf); err == nil {
+	if err := RunExperiment(context.Background(), "nonsense", ScaleSmoke, &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

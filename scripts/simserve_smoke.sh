@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Smoke test for serving mode: boot simserve, drive the HTTP API end to
+# end — submit, poll to completion, fetch, check /metrics — then resubmit
+# the identical spec and require a byte-identical cache hit. Exercises the
+# same path CI and a fresh checkout use: no dependencies beyond curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SIMSERVE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+SPEC='{"scheme":"PR","pattern":"PAT271","radix":[4,4],"rate":0.02,"measure":2000}'
+TMP="$(mktemp -d)"
+SERVER_PID=
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID" || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "simserve_smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$TMP/simserve" ./cmd/simserve
+"$TMP/simserve" -addr "$ADDR" -workers 2 -queue 8 -cache-dir "$TMP/cache" &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  [[ $i == 50 ]] && fail "server did not come up on $ADDR"
+  sleep 0.2
+done
+echo "simserve_smoke: server up on $ADDR"
+
+# Cold submit: must be accepted (202) and not served from cache.
+curl -sS -X POST "$BASE/v1/runs" -d "$SPEC" -o "$TMP/submit.json" \
+     -w '%{http_code}' > "$TMP/submit.code"
+[[ "$(cat "$TMP/submit.code")" == 202 ]] || fail "cold submit: HTTP $(cat "$TMP/submit.code"): $(cat "$TMP/submit.json")"
+grep -q '"cached": false' "$TMP/submit.json" || fail "cold submit claims cached: $(cat "$TMP/submit.json")"
+JOB_ID="$(sed -n 's/.*"id": "\(j-[0-9]*\)".*/\1/p' "$TMP/submit.json" | head -1)"
+[[ -n "$JOB_ID" ]] || fail "no job id in: $(cat "$TMP/submit.json")"
+
+# Poll until done; the result payload rides along.
+for i in $(seq 1 100); do
+  curl -fsS "$BASE/v1/runs/$JOB_ID" -o "$TMP/poll.json"
+  grep -q '"status": "done"' "$TMP/poll.json" && break
+  grep -q '"status": "failed"' "$TMP/poll.json" && fail "job failed: $(cat "$TMP/poll.json")"
+  [[ $i == 100 ]] && fail "job $JOB_ID did not finish"
+  sleep 0.2
+done
+grep -q '"digest":' "$TMP/poll.json" || fail "done job has no delivery digest"
+echo "simserve_smoke: $JOB_ID done"
+
+# Repeat submit: HTTP 200, cached, byte-identical result payload.
+curl -sS -X POST "$BASE/v1/runs" -d "$SPEC" -o "$TMP/repeat.json" \
+     -w '%{http_code}' > "$TMP/repeat.code"
+[[ "$(cat "$TMP/repeat.code")" == 200 ]] || fail "repeat submit: HTTP $(cat "$TMP/repeat.code")"
+grep -q '"cached": true' "$TMP/repeat.json" || fail "repeat submit missed the cache: $(cat "$TMP/repeat.json")"
+# The result object is the last field of a job body, so slicing from its
+# opening brace to EOF isolates it; the slices must match byte for byte.
+sed -n '/"result": {/,$p' "$TMP/poll.json" > "$TMP/result.cold"
+sed -n '/"result": {/,$p' "$TMP/repeat.json" > "$TMP/result.warm"
+[[ -s "$TMP/result.cold" ]] || fail "done job carries no result payload"
+cmp -s "$TMP/result.cold" "$TMP/result.warm" || fail "cached result not byte-identical"
+grep -q '"digest":' "$TMP/result.warm" || fail "cached result has no delivery digest"
+echo "simserve_smoke: cache hit byte-identical"
+
+# Metrics reflect the session: one executed simulation, one cache hit.
+curl -fsS "$BASE/metrics" -o "$TMP/metrics.json"
+grep -q '"executed": 1' "$TMP/metrics.json" || fail "metrics executed != 1: $(cat "$TMP/metrics.json")"
+grep -q '"hits": 1' "$TMP/metrics.json" || fail "metrics hits != 1: $(cat "$TMP/metrics.json")"
+
+# Graceful drain on SIGTERM.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=
+echo "simserve_smoke: PASS"
