@@ -18,6 +18,10 @@
 //	netsim -scheme PR -rate 0.03 -check            # runtime invariant checker
 //	netsim -scheme PR -rate 0.012 -digest          # delivery-log fingerprint
 //
+// Fault injection (deterministic plan file, see internal/fault):
+//
+//	netsim -scheme PR -rate 0.01 -fault-plan plan.json
+//
 // A drain phase that times out with undelivered messages still prints the
 // collected statistics but exits with status 2; invariant violations under
 // -check exit with status 3.
@@ -33,6 +37,7 @@ import (
 
 	"repro"
 	"repro/internal/check"
+	"repro/internal/fault"
 	"repro/internal/netiface"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -69,6 +74,8 @@ func main() {
 		checkOn       = flag.Bool("check", false, "run the runtime invariant checker; violations exit with status 3")
 		checkInterval = flag.Int64("check-interval", 64, "cycles between invariant sweeps (with -check)")
 		digest        = flag.Bool("digest", false, "print a 64-bit digest of the full delivery log (regression fingerprint)")
+
+		faultPlan = flag.String("fault-plan", "", "inject faults from this JSON plan file (see internal/fault)")
 	)
 	flag.Parse()
 
@@ -176,6 +183,15 @@ func main() {
 	if *checkOn {
 		checker = check.Attach(net, check.Options{Interval: *checkInterval})
 	}
+	var injector *fault.Injector
+	if *faultPlan != "" {
+		data, err := os.ReadFile(*faultPlan)
+		fatal(err)
+		plan, err := fault.ParsePlan(data)
+		fatal(err)
+		injector, err = fault.Attach(net, plan)
+		fatal(err)
+	}
 	var dig *check.Digest
 	if *digest {
 		dig = check.AttachDigest(net)
@@ -222,6 +238,9 @@ func main() {
 		}
 	}
 
+	if injector != nil {
+		fmt.Println(injector.Report())
+	}
 	if checker != nil {
 		fmt.Printf("invariant sweeps:      %d\n", checker.Checks())
 	}

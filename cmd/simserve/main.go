@@ -45,6 +45,7 @@ func main() {
 		cacheEntries = flag.Int("cache", 256, "in-memory result-cache entries (LRU)")
 		cacheDir     = flag.String("cache-dir", "", "on-disk result store directory (empty = memory only)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job simulation wall-time limit (0 = unbounded)")
+		jobRetries   = flag.Int("job-retries", 2, "re-executions of a job failing with a transient error")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for accepted jobs")
 		tracePath    = flag.String("trace", "", "append job lifecycle and simulation events as JSONL to this file")
 	)
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *queueDepth < 1 {
 		fatal(fmt.Errorf("-queue must be at least 1, got %d", *queueDepth))
+	}
+	if *jobRetries < 0 {
+		fatal(fmt.Errorf("-job-retries must be >= 0, got %d", *jobRetries))
 	}
 
 	store, err := simsvc.NewStore(*cacheEntries, *cacheDir)
@@ -75,10 +79,17 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		JobTimeout: *jobTimeout,
+		MaxRetries: *jobRetries,
 		Store:      store,
 		Bus:        bus,
 	})
-	srv := &http.Server{Addr: *addr, Handler: simsvc.NewServer(sched)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: simsvc.NewServer(sched),
+		// A client that opens a connection and trickles (or never sends)
+		// headers would otherwise hold a server goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -29,7 +29,7 @@ func experimentsSweep(ctx context.Context, cfg network.Config, rates []float64, 
 // Experiment names accepted by RunExperiment.
 var ExperimentNames = []string{
 	"table1", "fig6", "traces", "fig8", "fig9", "fig10", "fig11", "dlfreq",
-	"ablations", "utilization",
+	"ablations", "utilization", "faultsweep",
 }
 
 // RunExperiment regenerates one of the paper's tables or figures by name,
@@ -47,6 +47,7 @@ var ExperimentNames = []string{
 //	            SA channel sharing [21], 64 VCs, bristling, invalidation
 //	            fanout, chain length
 //	utilization — per-scheme channel utilization (the Section 2.1 argument)
+//	faultsweep — delivered fraction and token-recovery latency vs fault rate
 func RunExperiment(ctx context.Context, name string, scale ExperimentScale, w io.Writer) error {
 	switch name {
 	case "table1":
@@ -73,6 +74,8 @@ func RunExperiment(ctx context.Context, name string, scale ExperimentScale, w io
 		return experiments.Ablations(ctx, w, scale)
 	case "utilization":
 		return experiments.Utilization(ctx, w, scale)
+	case "faultsweep":
+		return experiments.FaultSweep(ctx, w, scale)
 	default:
 		return fmt.Errorf("repro: unknown experiment %q (valid: %v)", name, ExperimentNames)
 	}

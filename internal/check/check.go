@@ -450,10 +450,10 @@ func (c *Checker) CheckNow(now int64) {
 	}
 
 	// --- global flit conservation ---
-	if c.conserve && c.injectedFlits != c.deliveredInjFlits+inflight {
+	if c.conserve && c.injectedFlits != c.deliveredInjFlits+inflight+n.Faults.LostFlits {
 		c.report(now, "flit-conservation-global",
-			fmt.Sprintf("injected %d flits != delivered %d + in-flight %d",
-				c.injectedFlits, c.deliveredInjFlits, inflight))
+			fmt.Sprintf("injected %d flits != delivered %d + in-flight %d + fault-lost %d",
+				c.injectedFlits, c.deliveredInjFlits, inflight, n.Faults.LostFlits))
 	}
 
 	// --- Disha token uniqueness and rescue-service exclusivity ---

@@ -113,7 +113,6 @@ type Rescue struct {
 	timer         int64
 	returnFrom    topology.NodeID
 	serviceNI     *netiface.NI
-	lostCycles    int64
 
 	// Completed counts finished rescues; MaxDepth tracks the deepest
 	// token-reuse chain observed (Case 3/4 recursion); LaneTransfers
@@ -130,6 +129,7 @@ func New(cfg Config) *Rescue {
 	if cfg.Torus == nil || cfg.Token == nil || cfg.Engine == nil || cfg.Table == nil {
 		panic("core: incomplete config")
 	}
+	cfg.Token.SetRegenTimeout(cfg.TokenRegenTimeout)
 	return &Rescue{cfg: cfg}
 }
 
@@ -168,14 +168,12 @@ func (r *Rescue) ForEachCustody(f func(m *message.Message)) {
 func (r *Rescue) Step(now int64) {
 	tok := r.cfg.Token
 	if tok.Lost() {
-		r.lostCycles++
-		if r.cfg.TokenRegenTimeout > 0 && r.lostCycles >= r.cfg.TokenRegenTimeout {
-			tok.Regenerate(0)
-			r.lostCycles = 0
-		}
+		// The watchdog lives in the token manager so fault injectors can
+		// arm it without a rescue-engine handle; epoch bookkeeping rides
+		// along with the regeneration.
+		tok.Maintain(now)
 		return
 	}
-	r.lostCycles = 0
 	if !tok.Held() {
 		at, arrived := tok.Step()
 		if arrived {

@@ -171,6 +171,11 @@ type NI struct {
 	// fired and progressive recovery should capture the token here.
 	WantRescue bool
 
+	// StallUntil suspends the whole NI pipeline (ejection drain, memory
+	// controller, injection, detection) while now < StallUntil — the
+	// NI-stall fault. The zero value means no stall.
+	StallUntil int64
+
 	// ServicedCount counts normal controller services (for utilization
 	// statistics); DeflectCount counts deflection pops performed here.
 	ServicedCount int64
@@ -377,6 +382,9 @@ func (n *NI) sinkPreallocated(m *message.Message, now int64) {
 
 // Step runs one NI cycle.
 func (n *NI) Step(now int64) {
+	if now < n.StallUntil {
+		return
+	}
 	n.drainEjection(now)
 	n.controller(now)
 	n.drainPendingGen(now)

@@ -38,6 +38,17 @@ type Network struct {
 	Token  *token.Manager
 	Rescue *core.Rescue
 
+	// Health, when non-nil, is the link-liveness mask maintained by a fault
+	// injector; the routing policy excludes dead links from its candidate
+	// sets. Nil (the fault-free case) routes bit-identically to a network
+	// with no Health at all.
+	Health *routing.Health
+
+	// Faults accumulates losses charged to injected faults, so the
+	// invariant checker's conservation laws can distinguish declared loss
+	// from a simulator bug.
+	Faults FaultStats
+
 	// Detector is the optional CWG observer, installed by attachDetector
 	// when Cfg.CWGInterval > 0; scan is its periodic entry point.
 	Detector *deadlock.Detector
@@ -231,11 +242,11 @@ func (n *Network) niConfig(ep int) netiface.Config {
 		ServiceTime:     n.Cfg.ServiceTime,
 		DetectThreshold: n.Cfg.DetectThreshold,
 		RetryBackoff:    n.Cfg.RetryBackoff,
-		InjectVCs:    n.InjectVCsOf,
-		Engine:       n.Engine,
-		Table:        n.Table,
-		NextPacketID: n.newPacketID,
-		Pool:         n.Pool,
+		InjectVCs:       n.InjectVCsOf,
+		Engine:          n.Engine,
+		Table:           n.Table,
+		NextPacketID:    n.newPacketID,
+		Pool:            n.Pool,
 		Hooks: netiface.Hooks{
 			Injected:       n.onInjected,
 			Delivered:      n.onDelivered,
@@ -258,8 +269,17 @@ func (n *Network) Candidates(r topology.NodeID, pkt *message.Packet) []routing.P
 	dst := n.Torus.EndpointByID(m.Dst)
 	mode := n.Scheme.RoutingMode(m.Type, m.Backoff || m.Nack)
 	set := n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack)
-	n.candBuf = routing.AppendCandidates(n.candBuf[:0], n.Torus, mode, r, dst.Router, dst.Local, set)
+	n.candBuf = routing.AppendCandidatesHealth(n.candBuf[:0], n.Health, n.Torus, mode, r, dst.Router, dst.Local, set)
 	return n.candBuf
+}
+
+// FaultStats tallies losses attributable to injected faults.
+type FaultStats struct {
+	// LostFlits counts flits destroyed by drop faults (they vanish from
+	// conservation, accounted here instead); LostMsgs counts the messages
+	// those flits belonged to.
+	LostFlits int64
+	LostMsgs  int64
 }
 
 // inWindow reports whether cycle t falls inside the measurement window.

@@ -89,6 +89,11 @@ const (
 	KindJobAccepted Kind = "job-accepted"
 	KindJobStart    Kind = "job-start"
 	KindJobDone     Kind = "job-done"
+	// KindFault fires when the fault injector applies a plan event (Node =
+	// the affected router or endpoint, -1 for network-wide faults like
+	// token loss; Note = the event's kind and parameters; Arg = the plan
+	// event index for per-fault attribution in reports and forensics).
+	KindFault Kind = "fault"
 )
 
 // Event is one structured trace event. The struct is flat and

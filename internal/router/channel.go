@@ -87,6 +87,18 @@ type VC struct {
 // Cap returns the buffer capacity in flits.
 func (v *VC) Cap() int { return v.cap }
 
+// ReduceCap permanently removes one buffer slot — the credit-loss fault: a
+// flow-control credit that never returns. It fails (so the injector retries
+// on a later cycle) while every slot is occupied, or when only one slot
+// remains: a zero-capacity VC could never drain the flits it owes.
+func (v *VC) ReduceCap() bool {
+	if v.cap <= 1 || len(v.buf)+len(v.staged) >= v.cap {
+		return false
+	}
+	v.cap--
+	return true
+}
+
 // Len returns the number of committed flits buffered.
 func (v *VC) Len() int { return len(v.buf) }
 
@@ -210,6 +222,12 @@ type Channel struct {
 	// channel-wait-for-graph detector.
 	ID  int
 	VCs []*VC
+
+	// Stalled suppresses flit transfer over this channel for the current
+	// cycle — the link-flaky delay fault. A fault injector sets and clears
+	// it from the end-of-cycle hook, so it gates the *next* cycle's switch
+	// arbitration; buffered flits stay put and nothing is lost.
+	Stalled bool
 }
 
 // NewChannel builds a channel with vcs virtual channels of depth flitBuf.

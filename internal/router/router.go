@@ -55,6 +55,12 @@ type Router struct {
 	// may occupy it, so a single flag suffices.
 	DBBusy bool
 
+	// FrozenUntil stalls the VA and SA stages while now < FrozenUntil —
+	// the router-freeze fault. Buffered flits stay put (upstream staging
+	// into this router's inputs is unaffected, bounded by credits), and the
+	// zero value means no freeze.
+	FrozenUntil int64
+
 	// round-robin state for fair arbitration.
 	vaRR   int
 	pickRR int
@@ -171,7 +177,7 @@ func (r *Router) arbitrate(now int64) {
 		r.moved[i] = false
 	}
 	for o, out := range r.Outputs {
-		if out == nil {
+		if out == nil || out.Stalled {
 			continue
 		}
 		// Gather requesting input VCs: routed onto this output, flit
@@ -218,6 +224,9 @@ func (r *Router) arbitrate(now int64) {
 // arbitration and link traversal. Staged arrivals are committed by the
 // network after every component has stepped.
 func (r *Router) Step(now int64) {
+	if now < r.FrozenUntil {
+		return
+	}
 	r.allocate(now)
 	r.arbitrate(now)
 }

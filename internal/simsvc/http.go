@@ -44,6 +44,12 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// maxBodyBytes bounds request bodies: the largest legitimate spec (a sweep
+// with a long fault plan) is a few kilobytes, so 1 MiB leaves two orders of
+// magnitude of headroom while preventing an oversized client from pinning a
+// connection and buffering without limit.
+const maxBodyBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -67,6 +73,7 @@ func submitStatus(err error) int {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var spec RunSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -141,6 +148,7 @@ type sweepEntry struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req sweepRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()

@@ -222,3 +222,51 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		t.Errorf("healthz: %d", resp.StatusCode)
 	}
 }
+
+// TestHTTPOversizedBodyRejected: request bodies beyond the 1 MiB cap must be
+// rejected with 400 instead of buffered without bound — and the server must
+// stay healthy afterwards.
+func TestHTTPOversizedBodyRejected(t *testing.T) {
+	srv, _ := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 4})
+	huge := `{"scheme":"PR","pattern":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	resp, _ := postJSON(t, srv.URL+"/v1/runs", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after oversized body: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPFaultSpecAccepted: a spec carrying a fault plan round-trips through
+// the API and produces a fault report in the result payload.
+func TestHTTPFaultSpecAccepted(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 4})
+	spec := `{"scheme":"PR","pattern":"PAT271","radix":[2,2],"rate":0.02,"warmup":-1,"measure":500,
+		"faults":{"events":[{"kind":"token-loss","at":100}]}}`
+	resp, body := postJSON(t, srv.URL+"/v1/runs", spec)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted spec: status %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	done := waitDone(t, sched, v.ID)
+	var res Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Fault == nil || res.Summary.Fault.TokenLosses != 1 {
+		t.Fatalf("fault report missing or wrong: %+v", res.Summary.Fault)
+	}
+
+	// A plan the validator rejects surfaces as 400, not a failed job.
+	bad := `{"scheme":"PR","pattern":"PAT271","radix":[2,2],"rate":0.02,"warmup":-1,"measure":500,
+		"faults":{"events":[{"kind":"link-down","router":999}]}}`
+	resp, _ = postJSON(t, srv.URL+"/v1/runs", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid fault plan: status %d, want 400", resp.StatusCode)
+	}
+}

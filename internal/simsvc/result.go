@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -43,6 +44,10 @@ type Summary struct {
 	// InvariantChecks counts completed checker sweeps when the spec
 	// requested checking.
 	InvariantChecks int64 `json:"invariant_checks,omitempty"`
+	// Fault summarizes the injected faults and their cost when the spec
+	// carried a fault plan; absent otherwise, keeping fault-free payloads
+	// byte-identical to pre-fault builds.
+	Fault *fault.Report `json:"fault,omitempty"`
 }
 
 // Result is the cached payload for one spec hash.
@@ -95,6 +100,13 @@ func Execute(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
 	if spec.Check {
 		checker = check.Attach(n, check.Options{})
 	}
+	var injector *fault.Injector
+	if spec.Faults != nil {
+		injector, err = fault.Attach(n, spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	dig := check.AttachDigest(n)
 	if err := experiments.RunNetwork(ctx, n); err != nil {
 		return nil, err
@@ -108,6 +120,10 @@ func Execute(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
 		SpecHash: spec.Hash(),
 		Spec:     spec,
 		Summary:  summarize(n.Stats, n, dig, checker),
+	}
+	if injector != nil {
+		rep := injector.Report()
+		res.Summary.Fault = &rep
 	}
 	payload, err := json.Marshal(res)
 	if err != nil {

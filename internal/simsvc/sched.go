@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -48,7 +49,44 @@ type SchedConfig struct {
 	// simulation trace events. Its sinks are shared across concurrent
 	// workers, so wrap them with obs.Locked.
 	Bus *obs.Bus
+	// Exec overrides the job executor (nil = Execute). Tests use it to
+	// exercise the panic-recovery and retry paths without a simulation.
+	Exec func(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error)
+	// MaxRetries is how many times a job failing with a transient error
+	// (see MarkTransient) is re-executed before the failure is published
+	// (default 0: no retries).
+	MaxRetries int
+	// RetryBase is the first retry's backoff; successive retries double it
+	// up to a cap, each with random jitter (default 50ms).
+	RetryBase time.Duration
 }
+
+// MarkTransient wraps err so the scheduler's retry policy recognizes it as
+// worth re-executing: the failure came from the environment (disk pressure,
+// a cancelled sibling, resource exhaustion), not from the spec itself, whose
+// failures are deterministic and would only fail again.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// maxRetryBackoff caps the exponential retry delay so a long retry ladder
+// degrades into steady polling instead of hour-long sleeps.
+const maxRetryBackoff = 5 * time.Second
 
 // job is the scheduler-internal record; all fields below mu-guarded ones
 // are written only before enqueue.
@@ -105,6 +143,7 @@ type Scheduler struct {
 	misses   int64
 	coalesce int64
 	executed int64
+	retried  int64
 	latency  *stats.LatencyHist
 }
 
@@ -220,8 +259,29 @@ func (j *job) view() JobView {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.runJob(j)
+		s.safeRun(j)
 	}
+}
+
+// safeRun is the last-resort guard around the scheduler's own bookkeeping:
+// execSafe already contains executor panics, so anything reaching here came
+// from scheduler or sink code — the job is marked failed and the worker
+// stays alive to serve the rest of the queue.
+func (s *Scheduler) safeRun(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if j.status == StatusRunning {
+				s.running--
+			}
+			j.status = StatusFailed
+			j.errMsg = fmt.Sprintf("simsvc: worker panic: %v", r)
+			j.finished = time.Now()
+			s.failed++
+			s.mu.Unlock()
+		}
+	}()
+	s.runJob(j)
 }
 
 // runJob executes one queued job: recheck the cache (an identical job may
@@ -251,7 +311,7 @@ func (s *Scheduler) runJob(j *job) {
 			s.mu.Lock()
 			s.executed++
 			s.mu.Unlock()
-			p, err := Execute(ctx, j.spec, s.cfg.Bus)
+			p, err := s.execWithRetry(ctx, j)
 			if err != nil {
 				return nil, err
 			}
@@ -268,6 +328,55 @@ func (s *Scheduler) runJob(j *job) {
 		}
 	}
 	s.finish(j, payload, fromCache || sharedRun, nil)
+}
+
+// execSafe runs the configured executor, converting a panic into a plain
+// job failure so one poisoned spec cannot take a worker goroutine — and
+// with it a fraction of the service's capacity — down with it.
+func (s *Scheduler) execSafe(ctx context.Context, spec RunSpec) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			payload, err = nil, fmt.Errorf("simsvc: job panicked: %v", r)
+		}
+	}()
+	exec := s.cfg.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	return exec(ctx, spec, s.cfg.Bus)
+}
+
+// execWithRetry executes a job, re-running transient failures (and only
+// those — deterministic spec failures would fail identically every time)
+// with capped exponential backoff plus jitter, up to MaxRetries retries.
+func (s *Scheduler) execWithRetry(ctx context.Context, j *job) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		p, err := s.execSafe(ctx, j.spec)
+		if err == nil || !IsTransient(err) || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
+			return p, err
+		}
+		s.mu.Lock()
+		s.retried++
+		s.mu.Unlock()
+		base := s.cfg.RetryBase
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		d := base << uint(attempt)
+		if d > maxRetryBackoff || d <= 0 {
+			d = maxRetryBackoff
+		}
+		// Full jitter up to half the deterministic delay, so retries of
+		// jobs that failed together (e.g. on shared disk pressure) spread
+		// out instead of stampeding back in lockstep.
+		d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+		s.emitJob(obs.KindJobStart, j, fmt.Sprintf("retry %d in %v: %v", attempt+1, d, err))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // finish publishes a job outcome and records its latency.
@@ -353,6 +462,9 @@ type Metrics struct {
 	JobsAccepted int64 `json:"jobs_accepted"`
 	JobsDone     int64 `json:"jobs_done"`
 	JobsFailed   int64 `json:"jobs_failed"`
+	// JobsRetried counts transient-failure re-executions (not jobs: one
+	// job retried twice contributes 2).
+	JobsRetried int64 `json:"jobs_retried"`
 
 	Cache struct {
 		Hits      int64 `json:"hits"`
@@ -386,6 +498,7 @@ func (s *Scheduler) Metrics() Metrics {
 	m.JobsAccepted = s.accepted
 	m.JobsDone = s.done
 	m.JobsFailed = s.failed
+	m.JobsRetried = s.retried
 	m.Cache.Hits = s.hits
 	m.Cache.Misses = s.misses
 	m.Cache.Coalesced = s.coalesce

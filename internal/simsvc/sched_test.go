@@ -4,8 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // slowSpec returns a run long enough (~hundreds of ms) that it is still
@@ -241,5 +245,184 @@ func TestJobIDsAreSequential(t *testing.T) {
 		if want := fmt.Sprintf("j-%06d", i); v.ID != want {
 			t.Errorf("job %d: ID %s, want %s", i, v.ID, want)
 		}
+	}
+}
+
+// waitSettled polls until a job reaches done or failed, returning the view.
+func waitSettled(t *testing.T, sched *Scheduler, id string) JobView {
+	t.Helper()
+	for i := 0; i < 20000; i++ {
+		v, ok := sched.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never settled", id)
+	return JobView{}
+}
+
+// TestPanickingJobFailsWorkerSurvives: a spec whose execution panics must
+// surface as a failed job — and the single worker must stay alive to run
+// every job queued after it.
+func TestPanickingJobFailsWorkerSurvives(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{
+		Workers: 1, QueueDepth: 8, Store: store,
+		Exec: func(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
+			if spec.Seed == 666 {
+				panic("poisoned spec")
+			}
+			return []byte(`{}`), nil
+		},
+	})
+	defer sched.Drain(context.Background())
+
+	bad := tinySpec()
+	bad.Seed = 666
+	bv, err := sched.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitSettled(t, sched, bv.ID)
+	if v.Status != StatusFailed || !strings.Contains(v.Error, "panicked") {
+		t.Fatalf("panicking job: status %s, error %q", v.Status, v.Error)
+	}
+
+	// The worker that recovered the panic still serves subsequent jobs.
+	for seed := uint64(1); seed <= 3; seed++ {
+		good := tinySpec()
+		good.Seed = seed
+		gv, err := sched.Submit(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, sched, gv.ID)
+	}
+	m := sched.Metrics()
+	if m.JobsFailed != 1 || m.JobsDone != 3 {
+		t.Fatalf("failed=%d done=%d, want 1/3", m.JobsFailed, m.JobsDone)
+	}
+	if m.Running != 0 {
+		t.Fatalf("running gauge leaked: %d", m.Running)
+	}
+}
+
+// TestTransientFailureRetried: a transient failure is re-executed with
+// backoff until it succeeds, within the retry budget.
+func TestTransientFailureRetried(t *testing.T) {
+	store, _ := NewStore(8, "")
+	var mu sync.Mutex
+	attempts := 0
+	sched := NewScheduler(SchedConfig{
+		Workers: 1, QueueDepth: 8, Store: store,
+		MaxRetries: 3, RetryBase: time.Millisecond,
+		Exec: func(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			attempts++
+			if attempts <= 2 {
+				return nil, MarkTransient(errors.New("disk pressure"))
+			}
+			return []byte(`{}`), nil
+		},
+	})
+	defer sched.Drain(context.Background())
+
+	v, err := sched.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitSettled(t, sched, v.ID)
+	if got.Status != StatusDone {
+		t.Fatalf("retried job: status %s, error %q", got.Status, got.Error)
+	}
+	m := sched.Metrics()
+	if m.JobsRetried != 2 {
+		t.Fatalf("jobs_retried = %d, want 2", m.JobsRetried)
+	}
+}
+
+// TestDeterministicFailureNotRetried: an unmarked error is a property of the
+// spec — retrying would fail identically, so the scheduler must not.
+func TestDeterministicFailureNotRetried(t *testing.T) {
+	store, _ := NewStore(8, "")
+	var mu sync.Mutex
+	attempts := 0
+	sched := NewScheduler(SchedConfig{
+		Workers: 1, QueueDepth: 8, Store: store,
+		MaxRetries: 3, RetryBase: time.Millisecond,
+		Exec: func(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
+			mu.Lock()
+			attempts++
+			mu.Unlock()
+			return nil, errors.New("invariant violation")
+		},
+	})
+	defer sched.Drain(context.Background())
+
+	v, err := sched.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitSettled(t, sched, v.ID)
+	if got.Status != StatusFailed {
+		t.Fatalf("status %s, want failed", got.Status)
+	}
+	mu.Lock()
+	n := attempts
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("deterministic failure executed %d times, want 1", n)
+	}
+	if m := sched.Metrics(); m.JobsRetried != 0 {
+		t.Fatalf("jobs_retried = %d, want 0", m.JobsRetried)
+	}
+}
+
+// TestRetriesExhausted: a persistently transient failure fails the job after
+// MaxRetries re-executions.
+func TestRetriesExhausted(t *testing.T) {
+	store, _ := NewStore(8, "")
+	sched := NewScheduler(SchedConfig{
+		Workers: 1, QueueDepth: 8, Store: store,
+		MaxRetries: 2, RetryBase: time.Millisecond,
+		Exec: func(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
+			return nil, MarkTransient(errors.New("still broken"))
+		},
+	})
+	defer sched.Drain(context.Background())
+
+	v, err := sched.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitSettled(t, sched, v.ID)
+	if got.Status != StatusFailed || !strings.Contains(got.Error, "still broken") {
+		t.Fatalf("exhausted job: status %s, error %q", got.Status, got.Error)
+	}
+	if m := sched.Metrics(); m.JobsRetried != 2 {
+		t.Fatalf("jobs_retried = %d, want 2", m.JobsRetried)
+	}
+}
+
+// TestTransientMarking covers the error-classification helpers.
+func TestTransientMarking(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+	base := errors.New("io stall")
+	wrapped := MarkTransient(base)
+	if !IsTransient(wrapped) || IsTransient(base) {
+		t.Fatal("transient classification wrong")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("transient wrapper broke errors.Is")
+	}
+	if !IsTransient(fmt.Errorf("layered: %w", wrapped)) {
+		t.Fatal("transient mark lost through wrapping")
 	}
 }

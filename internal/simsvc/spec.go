@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/netiface"
 	"repro/internal/network"
 	"repro/internal/protocol"
@@ -76,6 +77,11 @@ type RunSpec struct {
 	// Check attaches the runtime invariant checker; a violation fails the
 	// job instead of caching a corrupted result.
 	Check bool `json:"check,omitempty"`
+	// Faults is an optional deterministic fault plan (internal/fault)
+	// injected into the run. It participates in the canonical encoding, so
+	// a faulted run caches under its own hash and a fault-free spec hashes
+	// exactly as before this field existed.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 // resolveSentinel maps the 0-means-default / -1-means-zero convention.
@@ -223,6 +229,24 @@ func (s RunSpec) Normalized() (RunSpec, error) {
 	if _, err := schemes.NewWithOptions(cfg.Scheme, cfg.Pattern, cfg.VCs, qmode, false, escape); err != nil {
 		return n, err
 	}
+
+	// Fault plans validate against the topology dimensions without building
+	// a network; an empty plan normalizes away entirely so it hashes
+	// identically to no plan at all.
+	if n.Faults != nil {
+		if n.Faults.Empty() {
+			n.Faults = nil
+		} else {
+			routers := 1
+			for _, r := range n.Radix {
+				routers *= r
+			}
+			if err := n.Faults.Validate(routers, 2*len(n.Radix), routers*n.Bristling); err != nil {
+				return n, err
+			}
+			n.Faults = n.Faults.Normalized()
+		}
+	}
 	return n, nil
 }
 
@@ -321,6 +345,7 @@ func (s RunSpec) Canonical() string {
 		{"max_drain", strconv.FormatInt(s.MaxDrain, 10)},
 		{"cwg_interval", strconv.FormatInt(s.CWGInterval, 10)},
 		{"check", strconv.FormatBool(s.Check)},
+		{"faults", s.Faults.Canonical()},
 	}
 	for _, e := range kv {
 		b.WriteString(e.k)

@@ -3,6 +3,8 @@ package simsvc
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 // tinySpec is a fast-running configuration for tests: a 2x2 torus point
@@ -123,9 +125,58 @@ func TestCanonicalListsEveryField(t *testing.T) {
 	for _, key := range []string{"scheme=", "pattern=", "trace_app=", "radix=", "mesh=",
 		"bristling=", "vcs=", "flitbuf=", "queue_cap=", "queue_mode=", "service_time=",
 		"rate=", "max_outstanding=", "seed=", "warmup=", "measure=", "max_drain=",
-		"cwg_interval=", "check="} {
+		"cwg_interval=", "check=", "faults="} {
 		if !strings.Contains(c, key) {
 			t.Errorf("canonical encoding missing %q:\n%s", key, c)
 		}
+	}
+}
+
+// TestFaultPlanHashing: a fault plan is part of the spec's identity — and an
+// empty plan is not, so fault-free specs hash exactly as they did before
+// fault support existed.
+func TestFaultPlanHashing(t *testing.T) {
+	plain, err := tinySpec().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty := tinySpec()
+	withEmpty.Faults = &fault.Plan{}
+	ne, err := withEmpty.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Faults != nil || ne.Hash() != plain.Hash() {
+		t.Fatalf("empty plan changed the hash: %s vs %s", ne.Hash(), plain.Hash())
+	}
+
+	faulted := tinySpec()
+	faulted.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.TokenLoss, At: 50}}}
+	nf, err := faulted.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Hash() == plain.Hash() {
+		t.Fatal("fault plan did not separate the hash")
+	}
+	// Seed normalization applies inside the plan too: seed 0 and 1 collide.
+	seeded := tinySpec()
+	seeded.Faults = &fault.Plan{Seed: 1, Events: []fault.Event{{Kind: fault.TokenLoss, At: 50}}}
+	ns, err := seeded.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Hash() != nf.Hash() {
+		t.Fatal("plan seed 0 vs 1 hash apart after normalization")
+	}
+}
+
+// TestFaultPlanValidatedAtNormalize: out-of-range plan coordinates fail spec
+// normalization, before any job is scheduled.
+func TestFaultPlanValidatedAtNormalize(t *testing.T) {
+	s := tinySpec()
+	s.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.LinkDown, Router: 99}}}
+	if _, err := s.Normalized(); err == nil {
+		t.Fatal("out-of-range fault router accepted")
 	}
 }

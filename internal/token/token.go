@@ -36,12 +36,33 @@ type Manager struct {
 	// circulates nor captures until Regenerate is called.
 	lost bool
 
+	// epoch numbers token generations, starting at 1. Each regeneration
+	// bumps it, so a resurfacing copy of an older generation (a delayed
+	// in-flight control packet from before the loss was declared) is
+	// recognizably stale and discarded rather than yielding two live
+	// tokens — which would break Disha's one-rescue-at-a-time exclusivity.
+	epoch uint64
+
+	// regenTimeout is the watchdog threshold: consecutive lost cycles
+	// before Maintain re-elects a token. Zero disables the watchdog.
+	regenTimeout int64
+	// lostCycles counts consecutive cycles the token has been lost,
+	// feeding the watchdog and the OutageCycles statistic.
+	lostCycles int64
+
 	// Captures and Releases count token lifecycle events for statistics;
 	// Losses and Regenerations count injected faults and recoveries.
 	Captures      int64
 	Releases      int64
 	Losses        int64
 	Regenerations int64
+	// OutageCycles accumulates cycles spent with no live token (recovery
+	// latency in the FaultSweep sense); Resurfaces counts lost tokens that
+	// reappeared before regeneration; StaleDiscards counts resurfacing
+	// copies of a superseded epoch that were thrown away.
+	OutageCycles  int64
+	Resurfaces    int64
+	StaleDiscards int64
 }
 
 // NewManager creates a token circulating from router 0.
@@ -49,8 +70,24 @@ func NewManager(t *topology.Torus, hopCycles int) *Manager {
 	if hopCycles < 1 {
 		panic("token: hopCycles must be >= 1")
 	}
-	return &Manager{t: t, hopCycles: hopCycles}
+	return &Manager{t: t, hopCycles: hopCycles, epoch: 1}
 }
+
+// Epoch returns the token's generation number (1 for the original token,
+// incremented by every watchdog regeneration).
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// SetRegenTimeout arms (or, with 0, disarms) the regeneration watchdog:
+// after timeout consecutive lost cycles, Maintain re-elects a token.
+func (m *Manager) SetRegenTimeout(timeout int64) {
+	if timeout < 0 {
+		panic("token: negative regen timeout")
+	}
+	m.regenTimeout = timeout
+}
+
+// RegenTimeout returns the current watchdog threshold (0 = disarmed).
+func (m *Manager) RegenTimeout() int64 { return m.regenTimeout }
 
 // Held reports whether the token is captured.
 func (m *Manager) Held() bool { return m.held }
@@ -118,6 +155,7 @@ func (m *Manager) Lose() {
 		return
 	}
 	m.lost = true
+	m.lostCycles = 0
 	m.Losses++
 }
 
@@ -134,7 +172,45 @@ func (m *Manager) Regenerate(pos topology.NodeID) {
 	m.lost = false
 	m.pos = pos
 	m.ctr = 0
+	m.lostCycles = 0
+	m.epoch++
 	m.Regenerations++
+}
+
+// Maintain runs one watchdog cycle while the token is lost: it accounts the
+// outage and, once the loss has persisted for the configured timeout,
+// re-elects a token at router 0 (the ring origin — every node can compute it,
+// so a distributed election would agree on it). A no-op when the token is
+// live or the watchdog is disarmed.
+func (m *Manager) Maintain(now int64) {
+	if !m.lost {
+		return
+	}
+	m.lostCycles++
+	m.OutageCycles++
+	if m.regenTimeout > 0 && m.lostCycles >= m.regenTimeout {
+		m.Regenerate(0)
+	}
+	_ = now
+}
+
+// Resurface models a delayed copy of the token control packet reappearing at
+// router pos. If the loss is still outstanding the token is simply reinstated
+// there — same epoch, no re-election needed — and Resurface returns true. If
+// a watchdog regeneration already superseded it, the copy is stale: it is
+// discarded (counted in StaleDiscards) so the network never sees two live
+// tokens, and Resurface returns false.
+func (m *Manager) Resurface(pos topology.NodeID) bool {
+	if !m.lost {
+		m.StaleDiscards++
+		return false
+	}
+	m.lost = false
+	m.pos = pos
+	m.ctr = 0
+	m.lostCycles = 0
+	m.Resurfaces++
+	return true
 }
 
 func (m *Manager) String() string {

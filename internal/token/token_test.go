@@ -106,6 +106,121 @@ func TestBadHopCyclesPanics(t *testing.T) {
 	NewManager(tor, 0)
 }
 
+func TestEpochStartsAtOneAndBumpsOnRegenerate(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	if m.Epoch() != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", m.Epoch())
+	}
+	m.Lose()
+	m.Regenerate(2)
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after regenerate = %d, want 2", m.Epoch())
+	}
+	if m.Lost() || m.Pos() != 2 {
+		t.Fatalf("regenerate left lost=%v pos=%d", m.Lost(), m.Pos())
+	}
+}
+
+func TestMaintainRegeneratesAfterTimeout(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.SetRegenTimeout(10)
+	m.Lose()
+	for now := int64(0); now < 9; now++ {
+		m.Maintain(now)
+		if !m.Lost() {
+			t.Fatalf("regenerated after only %d cycles, timeout is 10", now+1)
+		}
+	}
+	m.Maintain(9)
+	if m.Lost() {
+		t.Fatal("not regenerated at the 10-cycle timeout")
+	}
+	if m.Epoch() != 2 || m.Regenerations != 1 || m.OutageCycles != 10 {
+		t.Fatalf("epoch=%d regenerations=%d outage=%d, want 2/1/10",
+			m.Epoch(), m.Regenerations, m.OutageCycles)
+	}
+}
+
+func TestMaintainDisarmedNeverRegenerates(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Lose()
+	for now := int64(0); now < 1000; now++ {
+		m.Maintain(now)
+	}
+	if !m.Lost() {
+		t.Fatal("disarmed watchdog regenerated the token")
+	}
+	if m.OutageCycles != 1000 {
+		t.Fatalf("outage accounting = %d, want 1000", m.OutageCycles)
+	}
+}
+
+func TestResurfaceLiveLossSameEpoch(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Lose()
+	if !m.Resurface(3) {
+		t.Fatal("resurface of an outstanding loss rejected")
+	}
+	if m.Lost() || m.Pos() != 3 || m.Epoch() != 1 {
+		t.Fatalf("resurface state: lost=%v pos=%d epoch=%d", m.Lost(), m.Pos(), m.Epoch())
+	}
+	if m.Resurfaces != 1 || m.StaleDiscards != 0 {
+		t.Fatalf("counters: resurfaces=%d stale=%d", m.Resurfaces, m.StaleDiscards)
+	}
+}
+
+func TestResurfaceAfterRegenerationIsStale(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.Lose()
+	m.Regenerate(0)
+	if m.Resurface(3) {
+		t.Fatal("stale token copy accepted after regeneration")
+	}
+	if m.StaleDiscards != 1 {
+		t.Fatalf("stale discards = %d, want 1", m.StaleDiscards)
+	}
+	if m.Pos() != 0 || m.Epoch() != 2 {
+		t.Fatalf("stale resurface disturbed the live token: pos=%d epoch=%d", m.Pos(), m.Epoch())
+	}
+}
+
+func TestLoseResetsWatchdogClock(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	m.SetRegenTimeout(5)
+	m.Lose()
+	for now := int64(0); now < 4; now++ {
+		m.Maintain(now)
+	}
+	if !m.Resurface(1) {
+		t.Fatal("resurface rejected")
+	}
+	// A second, later loss must get the full timeout again.
+	m.Lose()
+	for now := int64(0); now < 4; now++ {
+		m.Maintain(now)
+		if !m.Lost() {
+			t.Fatal("second loss regenerated early: watchdog clock not reset")
+		}
+	}
+}
+
+func TestSetRegenTimeoutNegativePanics(t *testing.T) {
+	tor := topology.MustTorus([]int{2, 2}, 1)
+	m := NewManager(tor, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative timeout did not panic")
+		}
+	}()
+	m.SetRegenTimeout(-1)
+}
+
 func TestStringer(t *testing.T) {
 	tor := topology.MustTorus([]int{2, 2}, 1)
 	m := NewManager(tor, 1)

@@ -67,6 +67,15 @@ cmp -s "$TMP/result.cold" "$TMP/result.warm" || fail "cached result not byte-ide
 grep -q '"digest":' "$TMP/result.warm" || fail "cached result has no delivery digest"
 echo "simserve_smoke: cache hit byte-identical"
 
+# Hardened service path: an invalid spec is rejected with 400 and the
+# server keeps serving afterwards.
+curl -sS -X POST "$BASE/v1/runs" -d '{"scheme":"NO-SUCH-SCHEME"}' \
+     -o "$TMP/invalid.json" -w '%{http_code}' > "$TMP/invalid.code"
+[[ "$(cat "$TMP/invalid.code")" == 400 ]] || fail "invalid spec: HTTP $(cat "$TMP/invalid.code"): $(cat "$TMP/invalid.json")"
+grep -q '"error":' "$TMP/invalid.json" || fail "invalid spec carries no error body: $(cat "$TMP/invalid.json")"
+curl -fsS "$BASE/healthz" >/dev/null || fail "healthz down after invalid spec"
+echo "simserve_smoke: invalid spec rejected, server healthy"
+
 # Metrics reflect the session: one executed simulation, one cache hit.
 curl -fsS "$BASE/metrics" -o "$TMP/metrics.json"
 grep -q '"executed": 1' "$TMP/metrics.json" || fail "metrics executed != 1: $(cat "$TMP/metrics.json")"
