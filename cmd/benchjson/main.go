@@ -6,6 +6,10 @@
 // Example:
 //
 //	benchjson -label post-pr2 -o BENCH_PR2.json
+//
+// With -profile, a second (unbenchmarked) run executes with the cycle
+// profiler attached and the per-phase breakdown rides along in the entry —
+// the ns/op number always comes from the clean, unprofiled run.
 package main
 
 import (
@@ -18,35 +22,53 @@ import (
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/schemes"
+	"repro/internal/telemetry"
 )
 
 // Entry is one recorded measurement of the simulation-cycle hot path.
 type Entry struct {
-	Label       string  `json:"label"`
-	Benchmark   string  `json:"benchmark"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Label        string  `json:"label"`
+	Benchmark    string  `json:"benchmark"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
-	Note        string  `json:"note,omitempty"`
+	Note         string  `json:"note,omitempty"`
+	// Profile is the per-phase cycle-time breakdown from a separate
+	// profiled run (-profile); omitted otherwise, keeping entries
+	// byte-compatible with files written before the field existed.
+	Profile *telemetry.Breakdown `json:"profile,omitempty"`
+}
+
+// benchConfig is the fixed measurement point: PR scheme under light load,
+// pinned inside the warmup phase so every Step exercises the same
+// steady-state path.
+func benchConfig() network.Config {
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.01
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
+	cfg.CWGInterval = 0
+	return cfg
 }
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
-		label = flag.String("label", "current", "label for this measurement")
+		out     = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
+		label   = flag.String("label", "current", "label for this measurement")
+		profile = flag.Bool("profile", false, "also run the cycle profiler and record the phase breakdown")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("benchjson"))
+		return
+	}
 
 	res := testing.Benchmark(func(b *testing.B) {
-		cfg := network.DefaultConfig()
-		cfg.Scheme = schemes.PR
-		cfg.Pattern = protocol.PAT271
-		cfg.Rate = 0.01
-		cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
-		cfg.CWGInterval = 0
-		n, err := network.New(cfg)
+		n, err := network.New(benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,12 +90,38 @@ func main() {
 		AllocsPerOp:  res.AllocsPerOp(),
 		CyclesPerSec: 1e9 / nsPerOp,
 	}
+
+	if *profile {
+		b, err := profiledRun()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		entry.Profile = &b
+	}
+
 	if err := appendEntry(*out, entry); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s: %.0f ns/op  %d B/op  %d allocs/op  %.0f cycles/sec -> %s\n",
 		entry.Label, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp, entry.CyclesPerSec, *out)
+	if entry.Profile != nil {
+		fmt.Print(entry.Profile.Format())
+	}
+}
+
+// profiledRun replays the benchmark workload with the profiler attached.
+func profiledRun() (telemetry.Breakdown, error) {
+	n, err := network.New(benchConfig())
+	if err != nil {
+		return telemetry.Breakdown{}, err
+	}
+	n.RunCycles(2000)
+	p := telemetry.NewCycleProfiler(1)
+	n.AttachProfiler(p)
+	n.RunCycles(20000)
+	return p.Breakdown(), nil
 }
 
 // appendEntry reads the existing JSON array (if any), appends the entry, and

@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +33,12 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation points to run in parallel (1 = serial); reports are identical at any value")
 	checkOn := flag.Bool("check", false, "attach the runtime invariant checker to every simulation point; the first violation aborts the run")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("experiments"))
+		return
+	}
 
 	if *jobs < 1 {
 		fatal(fmt.Errorf("-j must be at least 1, got %d", *jobs))

@@ -12,6 +12,7 @@
 //	netsim -scheme PR -rate 0.03 -trace run.trace -trace-format chrome
 //	netsim -scheme PR -rate 0.03 -metrics-csv run.csv -metrics-window 100
 //	netsim -scheme PR -rate 0.03 -episodes
+//	netsim -scheme PR -rate 0.03 -profile        # per-phase cycle-time table
 //
 // Verification:
 //
@@ -28,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/schemes"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -76,8 +79,18 @@ func main() {
 		digest        = flag.Bool("digest", false, "print a 64-bit digest of the full delivery log (regression fingerprint)")
 
 		faultPlan = flag.String("fault-plan", "", "inject faults from this JSON plan file (see internal/fault)")
+
+		profile       = flag.Bool("profile", false, "attribute wall time to simulation pipeline phases and print the breakdown")
+		profileJSON   = flag.String("profile-json", "", "write the phase breakdown as JSON to this file (implies -profile)")
+		profileSample = flag.Int64("profile-sample", 1, "profile every Nth cycle (1 = every cycle)")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("netsim"))
+		return
+	}
 
 	// Validate run-phase and resource flags up front with per-flag messages;
 	// the config validator would reject most of these too, but its errors do
@@ -196,6 +209,14 @@ func main() {
 	if *digest {
 		dig = check.AttachDigest(net)
 	}
+	var prof *telemetry.CycleProfiler
+	if *profile || *profileJSON != "" {
+		if *profileSample < 1 {
+			fatal(fmt.Errorf("-profile-sample must be at least 1, got %d", *profileSample))
+		}
+		prof = telemetry.NewCycleProfiler(*profileSample)
+		net.AttachProfiler(prof)
+	}
 
 	res := sim.Run()
 	if bus != nil {
@@ -246,6 +267,18 @@ func main() {
 	}
 	if dig != nil {
 		fmt.Printf("delivery digest:       %s (%d deliveries)\n", dig, dig.Count())
+	}
+	if prof != nil {
+		b := prof.Breakdown()
+		fmt.Print(b.Format())
+		if *profileJSON != "" {
+			f, err := os.Create(*profileJSON)
+			fatal(err)
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			fatal(enc.Encode(b))
+			fatal(f.Close())
+		}
 	}
 
 	// Violations outrank a drain timeout: partial statistics are still

@@ -13,8 +13,12 @@
 //	POST /v1/runs      submit a run spec (429 when the queue is full)
 //	GET  /v1/runs/{id} poll a job; the result rides along once done
 //	POST /v1/sweeps    expand a load-rate range into one job per rate
-//	GET  /metrics      queue depth, cache counters, latency percentiles
+//	GET  /metrics      Prometheus text exposition (JSON via Accept header)
+//	GET  /metrics.json queue depth, cache counters, latency percentiles
 //	GET  /healthz      liveness
+//
+// With -debug-addr, net/http/pprof is served on a separate private
+// listener.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, accepted jobs
 // finish (up to -drain-timeout), and new submissions are rejected.
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +40,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/simsvc"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,8 +54,14 @@ func main() {
 		jobRetries   = flag.Int("job-retries", 2, "re-executions of a job failing with a transient error")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for accepted jobs")
 		tracePath    = flag.String("trace", "", "append job lifecycle and simulation events as JSONL to this file")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("simserve"))
+		return
+	}
 	if *workers < 1 {
 		fatal(fmt.Errorf("-workers must be at least 1, got %d", *workers))
 	}
@@ -89,6 +101,24 @@ func main() {
 		// A client that opens a connection and trickles (or never sends)
 		// headers would otherwise hold a server goroutine forever.
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The pprof surface is opt-in and on its own listener so profiling
+	// endpoints are never reachable through the public API address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("simserve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("simserve: pprof on %s/debug/pprof/", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/coherence"
+	"repro/internal/telemetry"
 	"repro/internal/tracegen"
 )
 
@@ -30,8 +31,13 @@ func main() {
 		out     = flag.String("o", "", "output file (default <app>.trc; ignored with -app all)")
 		verify  = flag.Bool("verify", false, "replay through the MSI engine and print the measured response mix")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "apps to generate in parallel with -app all; output order is fixed")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("tracegen"))
+		return
+	}
 
 	var apps []tracegen.App
 	if strings.EqualFold(*appName, "all") {

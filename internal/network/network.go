@@ -14,6 +14,7 @@ import (
 	"repro/internal/schemes"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/token"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -82,6 +83,11 @@ type Network struct {
 	bus      *obs.Bus
 	sampler  *obs.Sampler
 	episodes *obs.EpisodeTracker
+
+	// prof is the optional cycle-level phase profiler, installed by
+	// AttachProfiler (profile.go); nil in a plain run, one branch per phase
+	// boundary in Step.
+	prof *telemetry.CycleProfiler
 
 	// OnCycle, when non-nil, runs at the end of every cycle (used by the
 	// trace harness to sample load and by tests to observe state).
@@ -422,16 +428,28 @@ func (n *Network) onRescueServiced(ni *netiface.NI, m *message.Message, subs []*
 	n.Rescue.Serviced(ni, m, subs, now)
 }
 
-// Step advances the system one cycle.
+// Step advances the system one cycle. The phase-profiler marks sit on the
+// pipeline boundaries that already exist (routing and arbitration mark
+// themselves inside Router.Step); a detached profiler costs one nil check
+// per boundary and the pipeline order is identical either way.
 func (n *Network) Step() {
+	if n.prof != nil {
+		n.prof.BeginCycle()
+	}
 	now := n.Clock.Now()
 	if n.Clock.Phase() != sim.PhaseDrain && n.Source != nil {
 		for ep, ni := range n.NIs {
 			n.Source.Generate(now, ep, ni)
 		}
 	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseSource)
+	}
 	for _, ni := range n.NIs {
 		ni.Step(now)
+	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseProtocol)
 	}
 	for _, r := range n.Routers {
 		r.Step(now)
@@ -439,17 +457,29 @@ func (n *Network) Step() {
 	if n.Rescue != nil {
 		n.Rescue.Step(now)
 	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseRescue)
+	}
 	for _, c := range n.Channels {
 		c.Commit(now)
 	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseCredit)
+	}
 	if n.scan != nil && n.Cfg.CWGInterval > 0 && now > 0 && now%n.Cfg.CWGInterval == 0 {
 		n.scan(now)
+	}
+	if n.prof != nil {
+		n.prof.Mark(telemetry.PhaseDeadlock)
 	}
 	if n.sampler != nil {
 		n.sampler.Tick(now)
 	}
 	if n.OnCycle != nil {
 		n.OnCycle(now)
+	}
+	if n.prof != nil {
+		n.prof.EndCycle()
 	}
 	n.Clock.Tick()
 }

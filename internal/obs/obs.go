@@ -89,6 +89,11 @@ const (
 	KindJobAccepted Kind = "job-accepted"
 	KindJobStart    Kind = "job-start"
 	KindJobDone     Kind = "job-done"
+	// KindJobSpan carries a finished job's span-style phase timings (queue
+	// wait, cache lookup, coalesce, execute, encode) in Note, alongside the
+	// job ID and originating request ID; emitted once per job right after
+	// its KindJobDone.
+	KindJobSpan Kind = "job-span"
 	// KindFault fires when the fault injector applies a plan event (Node =
 	// the affected router or endpoint, -1 for network-wide faults like
 	// token loss; Note = the event's kind and parameters; Arg = the plan

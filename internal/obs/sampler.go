@@ -39,6 +39,7 @@ type Sampler struct {
 
 	headerDone bool
 	winStart   int64
+	lastTick   int64
 
 	injMsgs, injFlits int64
 	delMsgs, delFlits int64
@@ -57,7 +58,7 @@ func NewSampler(w io.Writer, window int64, nodes int, gauges func() Gauges) *Sam
 	if nodes < 1 {
 		nodes = 1
 	}
-	return &Sampler{w: bufio.NewWriter(w), window: window, nodes: nodes, gauges: gauges}
+	return &Sampler{w: bufio.NewWriter(w), window: window, nodes: nodes, gauges: gauges, lastTick: -1}
 }
 
 // Event implements Sink: accumulate per-window counts.
@@ -81,6 +82,7 @@ func (s *Sampler) Event(e Event) {
 // Tick must be called once per simulation cycle; at each window boundary it
 // flushes a CSV row and resets the accumulators.
 func (s *Sampler) Tick(now int64) {
+	s.lastTick = now
 	if now-s.winStart+1 < s.window {
 		return
 	}
@@ -114,8 +116,12 @@ func (s *Sampler) flushRow(now int64) {
 	s.detects, s.deflects, s.captures = 0, 0, 0
 }
 
-// Close emits the final partial window (if any activity is pending) and
-// flushes.
+// Close emits the final partial window (if any cycles have elapsed since
+// the last full one) and flushes.
 func (s *Sampler) Close() error {
+	if s.lastTick >= s.winStart {
+		s.flushRow(s.lastTick)
+		s.winStart = s.lastTick + 1
+	}
 	return s.w.Flush()
 }

@@ -16,6 +16,17 @@ type Policy interface {
 	Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC
 }
 
+// Prof receives phase-boundary marks from the router pipeline: each call
+// charges the wall time since the previous mark to that phase. The network
+// installs the cycle profiler here when one is attached; a nil Prof costs
+// one branch per Step and nothing else.
+type Prof interface {
+	// MarkRouting closes the virtual-channel-allocation segment.
+	MarkRouting()
+	// MarkArbitration closes the switch-arbitration segment.
+	MarkArbitration()
+}
+
 // Obs receives router-level observability events. The network layer
 // installs an implementation when tracing is enabled; a nil Obs costs one
 // branch per event site and nothing else.
@@ -39,6 +50,9 @@ type Router struct {
 
 	// Obs is the optional observability hook; nil when tracing is off.
 	Obs Obs
+
+	// Prof is the optional cycle-profiler hook; nil when profiling is off.
+	Prof Prof
 
 	// Inputs: indices 0..dirs-1 are link inputs (flits travelling in
 	// direction d arrive on input d), dirs..dirs+bristling-1 are injection
@@ -227,8 +241,15 @@ func (r *Router) Step(now int64) {
 	if now < r.FrozenUntil {
 		return
 	}
+	if r.Prof == nil {
+		r.allocate(now)
+		r.arbitrate(now)
+		return
+	}
 	r.allocate(now)
+	r.Prof.MarkRouting()
 	r.arbitrate(now)
+	r.Prof.MarkArbitration()
 }
 
 // BlockedPackets returns the distinct packets whose header flit sits

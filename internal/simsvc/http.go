@@ -4,39 +4,126 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Server is the HTTP JSON API over a Scheduler.
 //
-//	POST /v1/runs     submit one RunSpec; 200 on a cache hit, 202 when
-//	                  queued, 400 on an invalid spec, 429 when the queue is
-//	                  full, 503 while draining
-//	GET  /v1/runs/{id} fetch a job (result payload included once done)
-//	POST /v1/sweeps   expand a load-rate range into one job per rate
-//	GET  /metrics     queue depth, cache counters, job latency percentiles
-//	GET  /healthz     liveness
+//	POST /v1/runs      submit one RunSpec; 200 on a cache hit, 202 when
+//	                   queued, 400 on an invalid spec, 429 when the queue is
+//	                   full, 503 while draining (both carry Retry-After)
+//	GET  /v1/runs/{id} fetch a job (result payload and span timings included
+//	                   once done)
+//	POST /v1/sweeps    expand a load-rate range into one job per rate
+//	GET  /metrics      Prometheus text exposition (JSON via Accept:
+//	                   application/json)
+//	GET  /metrics.json the JSON metrics document
+//	GET  /healthz      liveness
+//
+// Every response carries an X-Request-ID header — echoing the client's, or
+// minted here — and the same ID is propagated through the request context
+// into the scheduler for job-trace correlation. One access-log line is
+// emitted per request.
 type Server struct {
-	sched *Scheduler
-	mux   *http.ServeMux
+	sched   *Scheduler
+	mux     *http.ServeMux
+	reg     *telemetry.Registry
+	httpM   *httpMetrics
+	logger  *log.Logger
+	started time.Time
 }
 
-// NewServer wires the routes.
+// NewServer wires the routes and the metrics registry.
 func NewServer(sched *Scheduler) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
+	reg, httpM := newMetricsRegistry(sched)
+	s := &Server{
+		sched:   sched,
+		mux:     http.NewServeMux(),
+		reg:     reg,
+		httpM:   httpM,
+		logger:  log.Default(),
+		started: time.Now(),
+	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// SetLogger replaces the access/error logger (default log.Default()); tests
+// use it to silence per-request lines.
+func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
+
+// Registry exposes the server's metrics registry so embedders can add their
+// own instruments to the same /metrics page.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// statusRecorder captures the status code and body size written by a
+// handler for the access log and the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: request-ID stamping, routing, then
+// access logging and request metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	r = r.WithContext(telemetry.WithRequestID(r.Context(), rid))
+
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+
+	elapsed := time.Since(start)
+	s.httpM.requests.With(r.Method, routeOf(r.URL.Path), strconv.Itoa(rec.status)).Inc()
+	s.httpM.duration.Observe(elapsed.Seconds())
+	s.logger.Printf("simsvc: %s %s %s %d %dB %s req=%s",
+		r.RemoteAddr, r.Method, r.URL.Path, rec.status, rec.bytes,
+		elapsed.Round(time.Microsecond), rid)
+}
+
+// routeOf collapses request paths onto their route patterns so the
+// per-route counter's label cardinality stays bounded no matter what
+// clients ask for.
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/runs" || path == "/v1/sweeps" || path == "/metrics" ||
+		path == "/metrics.json" || path == "/healthz":
+		return path
+	case strings.HasPrefix(path, "/v1/runs/"):
+		return "/v1/runs/{id}"
+	default:
+		return "other"
+	}
 }
 
 // apiError is the uniform error body.
@@ -50,12 +137,24 @@ type apiError struct {
 // connection and buffering without limit.
 const maxBodyBytes = 1 << 20
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// retryAfterSeconds is the backoff hint attached to 429/503 responses: long
+// enough for a queue slot to open at typical job times, short enough that a
+// drained-and-restarted server is retried promptly.
+const retryAfterSeconds = 1
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Too late to change the status line; the broken connection or
+		// unmarshalable value must not vanish silently.
+		s.logger.Printf("simsvc: encode %d response: %v", status, err)
+	}
 }
 
 // submitStatus maps a submission error to its HTTP status.
@@ -78,28 +177,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
 		return
 	}
-	job, err := s.sched.Submit(spec)
+	job, err := s.sched.Submit(r.Context(), spec)
 	if err != nil {
-		writeJSON(w, submitStatus(err), apiError{Error: err.Error()})
+		s.writeJSON(w, submitStatus(err), apiError{Error: err.Error()})
 		return
 	}
 	status := http.StatusAccepted
 	if job.Status == StatusDone {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, job)
+	s.writeJSON(w, status, job)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.writeJSON(w, http.StatusOK, job)
 }
 
 // sweepRequest expands into one job per applied-load rate: either an
@@ -153,16 +252,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad sweep: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: "bad sweep: " + err.Error()})
 		return
 	}
 	if req.Spec.TraceApp != "" {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "simsvc: trace runs have no load rate to sweep"})
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: "simsvc: trace runs have no load rate to sweep"})
 		return
 	}
 	rates, err := req.expand()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	resp := sweepResponse{Jobs: make([]sweepEntry, 0, len(rates))}
@@ -170,7 +269,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, rate := range rates {
 		spec := req.Spec
 		spec.Rate = rate
-		job, err := s.sched.Submit(spec)
+		job, err := s.sched.Submit(r.Context(), spec)
 		if err != nil {
 			status = submitStatus(err)
 			for _, rest := range rates[i:] {
@@ -180,9 +279,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, ID: job.ID})
 	}
-	writeJSON(w, status, resp)
+	s.writeJSON(w, status, resp)
 }
 
+// handleMetrics serves the Prometheus text exposition; a client that asks
+// for application/json gets the JSON document instead, so pre-existing
+// JSON scrapers keep working by content negotiation.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sched.Metrics())
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil && !errors.Is(err, io.ErrShortWrite) {
+		s.logger.Printf("simsvc: write metrics: %v", err)
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.sched.Metrics())
 }

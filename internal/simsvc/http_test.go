@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -18,7 +21,9 @@ func newTestServer(t *testing.T, cfg SchedConfig) (*httptest.Server, *Scheduler)
 		cfg.Store, _ = NewStore(16, "")
 	}
 	sched := NewScheduler(cfg)
-	srv := httptest.NewServer(NewServer(sched))
+	api := NewServer(sched)
+	api.SetLogger(log.New(io.Discard, "", 0))
+	srv := httptest.NewServer(api)
 	t.Cleanup(func() {
 		srv.Close()
 		sched.Drain(context.Background())
@@ -139,12 +144,12 @@ func TestHTTPQueueFull429(t *testing.T) {
 	srv, sched := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 1})
 
 	// Occupy the worker, then the single queue slot, with distinct specs.
-	first, err := sched.Submit(slowSpec(21))
+	first, err := sched.Submit(context.Background(), slowSpec(21))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, sched, first.ID)
-	if _, err := sched.Submit(slowSpec(22)); err != nil {
+	if _, err := sched.Submit(context.Background(), slowSpec(22)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -203,7 +208,7 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	mustFinish(t, sched, tinySpec())
 	mustFinish(t, sched, tinySpec())
 
-	resp, body := getJSON(t, srv.URL+"/metrics")
+	resp, body := getJSON(t, srv.URL+"/metrics.json")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics: %d", resp.StatusCode)
 	}
@@ -218,8 +223,150 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		t.Errorf("latency histogram empty: %s", body)
 	}
 
+	// /metrics with Accept: application/json negotiates to the same document.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	nresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	var neg Metrics
+	if err := json.NewDecoder(nresp.Body).Decode(&neg); err != nil {
+		t.Fatalf("negotiated metrics not JSON: %v", err)
+	}
+	if neg.JobsDone != m.JobsDone {
+		t.Errorf("negotiated metrics disagree: %d vs %d jobs done", neg.JobsDone, m.JobsDone)
+	}
+
 	if resp, _ := getJSON(t, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// promLineRE accepts the three legal non-blank line shapes of the
+// Prometheus text exposition format 0.0.4: # HELP, # TYPE, and a sample
+// with optional labels (whose quoted values may themselves contain braces)
+// and a float value.
+var promLineRE = regexp.MustCompile(
+	`^(# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN))$`)
+
+// TestHTTPMetricsPrometheus: GET /metrics serves well-formed Prometheus
+// text exposition carrying the scheduler, runtime, and build-info families.
+func TestHTTPMetricsPrometheus(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 2, QueueDepth: 8})
+	mustFinish(t, sched, tinySpec())
+	// Hit the parameterized route so its label value ("/v1/runs/{id}",
+	// braces included) must survive the line validation below.
+	getJSON(t, srv.URL+"/v1/runs/j-0")
+
+	resp, body := getJSON(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	text := string(body)
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			t.Errorf("line %d not valid exposition syntax: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE simsvc_jobs_done_total counter",
+		"# TYPE simsvc_queue_depth gauge",
+		"# TYPE simsvc_http_request_duration_seconds histogram",
+		"simsvc_http_request_duration_seconds_bucket{le=\"+Inf\"}",
+		"# TYPE go_goroutines gauge",
+		"build_info{",
+		"simsvc_jobs_done_total 1",
+		"simsvc_cache_executed_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The scrape itself is counted: a second scrape sees the first.
+	_, body2 := getJSON(t, srv.URL+"/metrics")
+	if !strings.Contains(string(body2), `simsvc_http_requests_total{method="GET",route="/metrics",code="200"}`) {
+		t.Errorf("second scrape missing request counter for the first:\n%s", body2)
+	}
+}
+
+// TestHTTPRequestID: every response carries X-Request-ID — echoed when the
+// client sent one, minted otherwise — and the ID flows into the job view.
+func TestHTTPRequestID(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 2, QueueDepth: 8})
+
+	resp, _ := getJSON(t, srv.URL+"/healthz")
+	if got := resp.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("minted request id %q, want 16 hex chars", got)
+	}
+
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/runs", strings.NewReader(tinySpecJSON))
+	req.Header.Set("X-Request-ID", "client-chosen-id-1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "client-chosen-id-1" {
+		t.Errorf("request id not echoed: %q", got)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp2.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.RequestID != "client-chosen-id-1" {
+		t.Errorf("job view request id %q, want the submitting request's", v.RequestID)
+	}
+
+	// The finished job exposes its span timings, execute and encode among
+	// them, through GET /v1/runs/{id}.
+	done := waitDone(t, sched, v.ID)
+	if done.RequestID != "client-chosen-id-1" {
+		t.Errorf("done view lost request id: %q", done.RequestID)
+	}
+	spans := map[string]int64{}
+	for _, sp := range done.Spans {
+		spans[sp.Name] = sp.DurUS
+	}
+	for _, want := range []string{"queue-wait", "execute", "encode"} {
+		if _, ok := spans[want]; !ok {
+			t.Errorf("span %q missing from %v", want, done.Spans)
+		}
+	}
+	if spans["execute"] <= 0 {
+		t.Errorf("execute span not timed: %v", done.Spans)
+	}
+}
+
+// TestHTTPRetryAfter: overload rejections carry a Retry-After hint.
+func TestHTTPRetryAfter(t *testing.T) {
+	srv, sched := newTestServer(t, SchedConfig{Workers: 1, QueueDepth: 1})
+
+	first, err := sched.Submit(context.Background(), slowSpec(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, sched, first.ID)
+	if _, err := sched.Submit(context.Background(), slowSpec(32)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, _ := postJSON(t, srv.URL+"/v1/runs",
+		`{"scheme":"PR","pattern":"PAT271","radix":[4,4],"rate":0.02,"warmup":-1,"measure":30000,"seed":33}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Errorf("429 Retry-After %q, want \"1\"", resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/experiments"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tracegen"
 	"repro/internal/traffic"
 )
@@ -125,7 +127,9 @@ func Execute(ctx context.Context, spec RunSpec, bus *obs.Bus) ([]byte, error) {
 		rep := injector.Report()
 		res.Summary.Fault = &rep
 	}
+	encodeStart := time.Now()
 	payload, err := json.Marshal(res)
+	telemetry.AddSpan(ctx, "encode", time.Since(encodeStart))
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Submission errors the HTTP layer maps onto status codes.
@@ -91,9 +92,14 @@ const maxRetryBackoff = 5 * time.Second
 // job is the scheduler-internal record; all fields below mu-guarded ones
 // are written only before enqueue.
 type job struct {
-	id   string
-	hash string
-	spec RunSpec
+	id    string
+	hash  string
+	spec  RunSpec
+	reqID string
+	// spans accumulates the job's phase timings (queue wait, cache lookup,
+	// coalesce, execute, encode); the collector is internally locked, so
+	// workers and view snapshots need no extra coordination.
+	spans *telemetry.Spans
 
 	// Guarded by Scheduler.mu.
 	status   Status
@@ -115,6 +121,13 @@ type JobView struct {
 	// coalesced onto an identical in-flight run instead of simulating.
 	Cached bool   `json:"cached"`
 	Error  string `json:"error,omitempty"`
+	// RequestID identifies the HTTP request that submitted the job (from
+	// the X-Request-ID header or minted by the server); empty for jobs
+	// submitted outside an identified request.
+	RequestID string `json:"request_id,omitempty"`
+	// Spans are the job's recorded phase timings: queue wait, cache
+	// lookup, singleflight coalesce, execute, encode.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 	// Result is the cached payload (a Result object), present once done.
 	Result json.RawMessage `json:"result,omitempty"`
 }
@@ -174,17 +187,23 @@ func NewScheduler(cfg SchedConfig) *Scheduler {
 // Submit normalizes and admits one spec. A spec whose result is already
 // cached completes immediately without consuming a queue slot; otherwise
 // the job joins the FIFO queue, failing fast with ErrQueueFull at the
-// depth limit or ErrDraining during shutdown.
-func (s *Scheduler) Submit(spec RunSpec) (JobView, error) {
+// depth limit or ErrDraining during shutdown. The request ID stamped on
+// ctx (if any) is carried onto the job for trace correlation; ctx does not
+// otherwise govern the job, whose execution outlives the request.
+func (s *Scheduler) Submit(ctx context.Context, spec RunSpec) (JobView, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return JobView{}, err
 	}
 	hash := norm.Hash()
 
-	j := &job{hash: hash, spec: norm, enqueued: time.Now()}
+	j := &job{hash: hash, spec: norm, enqueued: time.Now(),
+		reqID: telemetry.RequestID(ctx), spans: telemetry.NewSpans()}
 
-	if payload, ok := s.cfg.Store.Get(hash); ok {
+	lookup := time.Now()
+	payload, ok := s.cfg.Store.Get(hash)
+	j.spans.Add("cache-lookup", time.Since(lookup))
+	if ok {
 		s.mu.Lock()
 		s.hits++
 		s.done++
@@ -196,6 +215,7 @@ func (s *Scheduler) Submit(spec RunSpec) (JobView, error) {
 		v := j.view()
 		s.mu.Unlock()
 		s.emitJob(obs.KindJobDone, j, "cache-hit")
+		s.emitSpans(j)
 		return v, nil
 	}
 
@@ -241,12 +261,14 @@ func (s *Scheduler) Job(id string) (JobView, bool) {
 // view snapshots a job; callers hold s.mu.
 func (j *job) view() JobView {
 	v := JobView{
-		ID:       j.id,
-		SpecHash: j.hash,
-		Spec:     j.spec,
-		Status:   j.status,
-		Cached:   j.cached,
-		Error:    j.errMsg,
+		ID:        j.id,
+		SpecHash:  j.hash,
+		Spec:      j.spec,
+		Status:    j.status,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		RequestID: j.reqID,
+		Spans:     j.spans.List(),
 	}
 	if j.status == StatusDone {
 		v.Result = json.RawMessage(j.payload)
@@ -293,16 +315,21 @@ func (s *Scheduler) runJob(j *job) {
 	j.started = time.Now()
 	s.running++
 	s.mu.Unlock()
+	j.spans.Add("queue-wait", j.started.Sub(j.enqueued))
 	s.emitJob(obs.KindJobStart, j, "")
 
 	var fromCache, sharedRun bool
+	lookup := time.Now()
 	payload, ok := s.cfg.Store.Get(j.hash)
+	j.spans.Add("cache-lookup", time.Since(lookup))
 	if ok {
 		fromCache = true
 	} else {
 		var err error
+		flightStart := time.Now()
 		payload, err, sharedRun = s.flight.do(j.hash, func() ([]byte, error) {
-			ctx := s.baseCtx
+			ctx := telemetry.WithSpans(s.baseCtx, j.spans)
+			ctx = telemetry.WithRequestID(ctx, j.reqID)
 			var cancel context.CancelFunc = func() {}
 			if s.cfg.JobTimeout > 0 {
 				ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
@@ -311,17 +338,26 @@ func (s *Scheduler) runJob(j *job) {
 			s.mu.Lock()
 			s.executed++
 			s.mu.Unlock()
+			execStart := time.Now()
 			p, err := s.execWithRetry(ctx, j)
+			j.spans.Add("execute", time.Since(execStart))
 			if err != nil {
 				return nil, err
 			}
+			putStart := time.Now()
 			if err := s.cfg.Store.Put(j.hash, p); err != nil {
 				// The result is still valid and cached in memory by Put's
 				// insert; only persistence failed. Serve it.
 				s.emitJob(obs.KindJobDone, j, "disk-write-failed: "+err.Error())
 			}
+			j.spans.Add("cache-store", time.Since(putStart))
 			return p, nil
 		})
+		if sharedRun {
+			// This job piggybacked on an identical in-flight run: what it
+			// spent was the wait for that run, not its own execution.
+			j.spans.Add("coalesce", time.Since(flightStart))
+		}
 		if err != nil {
 			s.finish(j, nil, false, err)
 			return
@@ -409,6 +445,7 @@ func (s *Scheduler) finish(j *job, payload []byte, cached bool, err error) {
 		note = "deduplicated"
 	}
 	s.emitJob(obs.KindJobDone, j, note)
+	s.emitSpans(j)
 }
 
 // emitJob publishes a job lifecycle event on the configured bus.
@@ -417,10 +454,29 @@ func (s *Scheduler) emitJob(kind obs.Kind, j *job, note string) {
 		return
 	}
 	msg := j.id + " hash=" + j.hash
+	if j.reqID != "" {
+		msg += " req=" + j.reqID
+	}
 	if note != "" {
 		msg += " " + note
 	}
 	s.cfg.Bus.Emit(obs.Event{Kind: kind, Node: -1, Note: msg})
+}
+
+// emitSpans publishes a finished job's phase timings into the lifecycle
+// trace, right after its job-done event.
+func (s *Scheduler) emitSpans(j *job) {
+	if s.cfg.Bus == nil {
+		return
+	}
+	msg := j.id
+	if j.reqID != "" {
+		msg += " req=" + j.reqID
+	}
+	if sp := j.spans.String(); sp != "" {
+		msg += " " + sp
+	}
+	s.cfg.Bus.Emit(obs.Event{Kind: obs.KindJobSpan, Node: -1, Note: msg})
 }
 
 // Drain begins graceful shutdown: new submissions are rejected with

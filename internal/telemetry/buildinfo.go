@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Build identity, injected at link time:
+//
+//	go build -ldflags "\
+//	  -X repro/internal/telemetry.version=v1.2.3 \
+//	  -X repro/internal/telemetry.commit=$(git rev-parse --short HEAD) \
+//	  -X repro/internal/telemetry.buildDate=$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+//
+// The defaults identify an uninjected developer build.
+var (
+	version   = "dev"
+	commit    = "unknown"
+	buildDate = "unknown"
+)
+
+// Version returns the injected (or default) version string.
+func Version() string { return version }
+
+// VersionString is the one-line -version output shared by every binary; the
+// same fields feed the build_info metric so a scrape and a shell agree on
+// what is running.
+func VersionString(binary string) string {
+	return fmt.Sprintf("%s %s (commit %s, built %s) %s %s/%s",
+		binary, version, commit, buildDate, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// RegisterBuildInfo exposes the build identity as the conventional constant
+// metric build_info{binary,version,commit,goversion} 1.
+func RegisterBuildInfo(r *Registry, binary string) {
+	r.GaugeVec("build_info",
+		"Build identity of the running binary (value is always 1).",
+		"binary", "version", "commit", "goversion").
+		With(binary, version, commit, runtime.Version()).Set(1)
+}

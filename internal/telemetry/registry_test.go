@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func gatherText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Add(3)
+	g := r.Gauge("queue_depth", "Waiting jobs.")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("workers", "Pool size.", func() float64 { return 4 })
+	r.CounterFunc("ticks_total", "Clock ticks.", func() float64 { return 1.5e6 })
+
+	text := gatherText(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE queue_depth gauge\nqueue_depth 5\n",
+		"workers 4\n",
+		"ticks_total 1.5e+06\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "method", "route")
+	v.With("GET", "/v1/runs").Inc()
+	v.With("GET", "/v1/runs").Inc()
+	v.With("POST", `quo"te\back`+"\n").Inc()
+
+	text := gatherText(t, r)
+	if !strings.Contains(text, `http_requests_total{method="GET",route="/v1/runs"} 2`) {
+		t.Errorf("labelled sample wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `http_requests_total{method="POST",route="quo\"te\\back\n"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", text)
+	}
+
+	gv := r.GaugeVec("latency_us", "Latency.", "quantile")
+	gv.With("0.5").Set(12)
+	gv.With("0.99").Set(99)
+	text = gatherText(t, r)
+	if !strings.Contains(text, `latency_us{quantile="0.5"} 12`) ||
+		!strings.Contains(text, `latency_us{quantile="0.99"} 99`) {
+		t.Errorf("gauge vec samples wrong:\n%s", text)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Request time.", 0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+
+	text := gatherText(t, r)
+	for _, want := range []string{
+		`req_seconds_bucket{le="0.1"} 1`,
+		`req_seconds_bucket{le="1"} 3`,
+		`req_seconds_bucket{le="10"} 4`,
+		`req_seconds_bucket{le="+Inf"} 5`,
+		`req_seconds_sum 56.05`,
+		`req_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRegistryHistogramBoundary: a value exactly on a bucket bound counts
+// into that bucket (le is <=).
+func TestRegistryHistogramBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "Boundary.", 1, 2)
+	h.Observe(1)
+	h.Observe(2)
+	text := gatherText(t, r)
+	if !strings.Contains(text, `x_bucket{le="1"} 1`) || !strings.Contains(text, `x_bucket{le="2"} 2`) {
+		t.Errorf("boundary observation in wrong bucket:\n%s", text)
+	}
+}
+
+func TestRegistryConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "Concurrent.")
+	h := r.Histogram("h", "Concurrent.", 1, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter %v, want 8000", got)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count %d, want 8000", h.Count())
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("ok_total", "Fine.")
+	mustPanic("duplicate name", func() { r.Counter("ok_total", "Again.") })
+	mustPanic("invalid metric name", func() { r.Counter("bad-name", "Hyphen.") })
+	mustPanic("invalid label name", func() { r.CounterVec("v_total", "Vec.", "le-gal") })
+	mustPanic("negative counter add", func() { r.Counter("neg_total", "Neg.").Add(-1) })
+	mustPanic("unsorted buckets", func() { r.Histogram("hh", "Unsorted.", 2, 1) })
+	mustPanic("label arity", func() {
+		r.CounterVec("arity_total", "Vec.", "a", "b").With("only-one")
+	})
+}
+
+func TestFormatValue(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:            "0",
+		1.5:          "1.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}
+
+// TestOnGatherRefreshesPerScrape: gather hooks run once per exposition, in
+// registration order, before any family renders.
+func TestOnGatherRefreshesPerScrape(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	g := r.Gauge("refreshed", "Set by hook.")
+	r.OnGather(func() { calls++; g.Set(float64(calls)) })
+	if got := gatherText(t, r); !strings.Contains(got, "refreshed 1") {
+		t.Errorf("first scrape: %s", got)
+	}
+	if got := gatherText(t, r); !strings.Contains(got, "refreshed 2") {
+		t.Errorf("second scrape: %s", got)
+	}
+}
+
+// TestRuntimeAndBuildInfo: the runtime and build-info families register and
+// render sane values.
+func TestRuntimeAndBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterBuildInfo(r, "testbin")
+	text := gatherText(t, r)
+
+	if m := regexp.MustCompile(`(?m)^go_goroutines (\d+)$`).FindStringSubmatch(text); m == nil || m[1] == "0" {
+		t.Errorf("go_goroutines missing or zero:\n%s", text)
+	}
+	if !regexp.MustCompile(`(?m)^go_memstats_heap_alloc_bytes [1-9]`).MatchString(text) {
+		t.Errorf("heap alloc gauge missing or zero")
+	}
+	if !strings.Contains(text, `build_info{binary="testbin",version="`) {
+		t.Errorf("build_info missing:\n%s", text)
+	}
+	vs := VersionString("testbin")
+	if !strings.HasPrefix(vs, "testbin "+Version()) || !strings.Contains(vs, "go1.") {
+		t.Errorf("version string: %q", vs)
+	}
+}

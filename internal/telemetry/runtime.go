@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeMetrics exposes the Go runtime gauges every serving stack
+// scrapes: goroutine count, heap usage, and garbage-collection activity.
+// MemStats is read once per scrape via the registry's gather hook, so the
+// gauges are mutually consistent and the stop-the-world cost of
+// runtime.ReadMemStats is paid per scrape, not per gauge.
+func RegisterRuntimeMetrics(r *Registry) {
+	var (
+		mu sync.Mutex
+		ms runtime.MemStats
+	)
+	r.OnGather(func() {
+		mu.Lock()
+		runtime.ReadMemStats(&ms)
+		mu.Unlock()
+	})
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_objects",
+		"Number of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.GaugeFunc("go_memstats_sys_bytes",
+		"Bytes of memory obtained from the OS.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world garbage-collection pause time.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+	r.GaugeFunc("go_gc_last_pause_seconds",
+		"Duration of the most recent garbage-collection pause.",
+		read(func(m *runtime.MemStats) float64 {
+			if m.NumGC == 0 {
+				return 0
+			}
+			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+		}))
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Perf-regression smoke: measure the simulation-cycle hot path with
+# cmd/benchjson and fail if ns/cycle regresses more than the threshold
+# against the newest committed baseline artifact (BENCH_PR*.json; override
+# with PERF_BASELINE). CI runners are noisy, so the 15% default catches
+# real regressions (a new branch or allocation on the hot path) without
+# flaking on scheduler jitter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE="${PERF_BASELINE:-$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)}"
+THRESHOLD_PCT="${PERF_THRESHOLD_PCT:-15}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "perf_smoke: FAIL: $*" >&2; exit 1; }
+
+[[ -f "$BASELINE_FILE" ]] || fail "baseline $BASELINE_FILE not found"
+BASE_NS="$(sed -n 's/.*"ns_per_op": \([0-9.]*\).*/\1/p' "$BASELINE_FILE" | tail -1)"
+[[ -n "$BASE_NS" ]] || fail "no ns_per_op in $BASELINE_FILE"
+
+# Minimum of three runs: the minimum is the measurement least polluted by
+# scheduler preemption and frequency throttling, which only ever add time.
+RUNS="${PERF_RUNS:-3}"
+for _ in $(seq 1 "$RUNS"); do
+  go run ./cmd/benchjson -label perf-smoke -o "$TMP/bench.json" >/dev/null
+done
+CUR_NS="$(sed -n 's/.*"ns_per_op": \([0-9.]*\).*/\1/p' "$TMP/bench.json" | sort -g | head -1)"
+[[ -n "$CUR_NS" ]] || fail "benchjson produced no measurement"
+
+# Integer percent of baseline; awk does the float math portably.
+PCT="$(awk -v c="$CUR_NS" -v b="$BASE_NS" 'BEGIN { printf "%.1f", 100 * c / b }')"
+echo "perf_smoke: ${CUR_NS} ns/cycle vs baseline ${BASE_NS} (${PCT}% of baseline, limit $((100 + THRESHOLD_PCT))%)"
+awk -v c="$CUR_NS" -v b="$BASE_NS" -v t="$THRESHOLD_PCT" \
+    'BEGIN { exit !(c <= b * (1 + t / 100)) }' \
+  || fail "hot path regressed: ${CUR_NS} ns/cycle > ${BASE_NS} + ${THRESHOLD_PCT}%"
+echo "perf_smoke: PASS"

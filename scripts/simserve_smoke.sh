@@ -77,9 +77,30 @@ curl -fsS "$BASE/healthz" >/dev/null || fail "healthz down after invalid spec"
 echo "simserve_smoke: invalid spec rejected, server healthy"
 
 # Metrics reflect the session: one executed simulation, one cache hit.
-curl -fsS "$BASE/metrics" -o "$TMP/metrics.json"
+curl -fsS "$BASE/metrics.json" -o "$TMP/metrics.json"
 grep -q '"executed": 1' "$TMP/metrics.json" || fail "metrics executed != 1: $(cat "$TMP/metrics.json")"
 grep -q '"hits": 1' "$TMP/metrics.json" || fail "metrics hits != 1: $(cat "$TMP/metrics.json")"
+
+# /metrics serves well-formed Prometheus text exposition: every non-blank
+# line is a # HELP/# TYPE comment or a sample, and the simsvc counters from
+# this session are present with the right values.
+curl -fsS "$BASE/metrics" -o "$TMP/metrics.prom" -w '%{content_type}' > "$TMP/metrics.ct"
+grep -q 'text/plain' "$TMP/metrics.ct" || fail "/metrics content type: $(cat "$TMP/metrics.ct")"
+BAD_LINE="$(grep -vE '^$|^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?([0-9]|\+Inf|-Inf|NaN)' "$TMP/metrics.prom" || true)"
+[[ -z "$BAD_LINE" ]] || fail "malformed exposition line(s): $BAD_LINE"
+grep -q '^simsvc_cache_executed_total 1$' "$TMP/metrics.prom" || fail "prometheus executed != 1"
+grep -q '^simsvc_cache_hits_total 1$' "$TMP/metrics.prom" || fail "prometheus hits != 1"
+grep -q '^# TYPE simsvc_http_request_duration_seconds histogram$' "$TMP/metrics.prom" || fail "http histogram family missing"
+grep -q '^go_goroutines ' "$TMP/metrics.prom" || fail "runtime metrics missing"
+grep -q '^build_info{' "$TMP/metrics.prom" || fail "build_info missing"
+echo "simserve_smoke: prometheus exposition well-formed"
+
+# Every response carries a request ID; a client-supplied one is echoed.
+RID="$(curl -fsS -D - -o /dev/null "$BASE/healthz" | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')"
+[[ -n "$RID" ]] || fail "no X-Request-ID on healthz response"
+ECHOED="$(curl -fsS -D - -o /dev/null -H 'X-Request-ID: smoke-rid-1' "$BASE/healthz" | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip')"
+[[ "$ECHOED" == "smoke-rid-1" ]] || fail "X-Request-ID not echoed: got '$ECHOED'"
+echo "simserve_smoke: request ids minted and echoed"
 
 # Graceful drain on SIGTERM.
 kill -TERM "$SERVER_PID"
