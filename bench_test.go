@@ -10,6 +10,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -211,6 +212,34 @@ func BenchmarkSimulationCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
+	}
+}
+
+// BenchmarkSimulationCycleLowLoad measures cycles at light injection rates,
+// where the active-set sweep pays off: most routers and NIs are quiescent,
+// so a cycle touches only the dirty few (and, at 0.001, usually nothing but
+// the traffic sources). The rate-0.01 entry matches BenchmarkSimulationCycle
+// for continuity with older BENCH records.
+func BenchmarkSimulationCycleLowLoad(b *testing.B) {
+	for _, rate := range []float64{0.001, 0.01} {
+		b.Run(fmt.Sprintf("rate=%g", rate), func(b *testing.B) {
+			cfg := network.DefaultConfig()
+			cfg.Scheme = schemes.PR
+			cfg.Pattern = protocol.PAT271
+			cfg.Rate = rate
+			cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0
+			cfg.CWGInterval = 0
+			n, err := network.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.RunCycles(2000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
 	}
 }
 

@@ -41,14 +41,14 @@ type Entry struct {
 	Profile *telemetry.Breakdown `json:"profile,omitempty"`
 }
 
-// benchConfig is the fixed measurement point: PR scheme under light load,
-// pinned inside the warmup phase so every Step exercises the same
-// steady-state path.
-func benchConfig() network.Config {
+// benchConfig is the fixed measurement point: PR scheme at the given
+// injection rate (0.01 is the historical default), pinned inside the warmup
+// phase so every Step exercises the same steady-state path.
+func benchConfig(rate float64) network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Scheme = schemes.PR
 	cfg.Pattern = protocol.PAT271
-	cfg.Rate = 0.01
+	cfg.Rate = rate
 	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
 	cfg.CWGInterval = 0
 	return cfg
@@ -58,6 +58,9 @@ func main() {
 	var (
 		out     = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
 		label   = flag.String("label", "current", "label for this measurement")
+		rate    = flag.Float64("rate", 0.01, "injection rate of the measurement point")
+		runs    = flag.Int("runs", 1, "benchmark repetitions; the minimum ns/op is recorded (least scheduler-polluted)")
+		dense   = flag.Bool("dense", false, "force dense stepping (disable the active-set sweep and skip-ahead)")
 		profile = flag.Bool("profile", false, "also run the cycle profiler and record the phase breakdown")
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -66,21 +69,37 @@ func main() {
 		fmt.Println(telemetry.VersionString("benchjson"))
 		return
 	}
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "benchjson: -runs must be >= 1, got %d\n", *runs)
+		os.Exit(1)
+	}
+	if *rate < 0 || *rate > 1 {
+		fmt.Fprintf(os.Stderr, "benchjson: -rate must be in [0,1], got %g\n", *rate)
+		os.Exit(1)
+	}
 
-	res := testing.Benchmark(func(b *testing.B) {
-		n, err := network.New(benchConfig())
-		if err != nil {
-			b.Fatal(err)
+	var res testing.BenchmarkResult
+	var nsPerOp float64
+	for i := 0; i < *runs; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			n, err := network.New(benchConfig(*rate))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.SetDense(*dense)
+			n.RunCycles(2000) // reach steady occupancy
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if i == 0 || ns < nsPerOp {
+			res, nsPerOp = r, ns
 		}
-		n.RunCycles(2000) // reach steady occupancy
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			n.Step()
-		}
-	})
+	}
 
-	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
 	entry := Entry{
 		Label:        *label,
 		Benchmark:    "SimulationCycle",
@@ -89,10 +108,11 @@ func main() {
 		BytesPerOp:   res.AllocedBytesPerOp(),
 		AllocsPerOp:  res.AllocsPerOp(),
 		CyclesPerSec: 1e9 / nsPerOp,
+		Note:         note(*rate, *runs, *dense),
 	}
 
 	if *profile {
-		b, err := profiledRun()
+		b, err := profiledRun(*rate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -111,9 +131,18 @@ func main() {
 	}
 }
 
+// note summarizes the measurement parameters for the JSON entry.
+func note(rate float64, runs int, dense bool) string {
+	s := fmt.Sprintf("rate=%g min-of-%d", rate, runs)
+	if dense {
+		s += " dense"
+	}
+	return s
+}
+
 // profiledRun replays the benchmark workload with the profiler attached.
-func profiledRun() (telemetry.Breakdown, error) {
-	n, err := network.New(benchConfig())
+func profiledRun(rate float64) (telemetry.Breakdown, error) {
+	n, err := network.New(benchConfig(rate))
 	if err != nil {
 		return telemetry.Breakdown{}, err
 	}

@@ -1,0 +1,103 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/router"
+	"repro/internal/schemes"
+)
+
+// runMode runs cfg to completion in the requested stepping mode and returns
+// the delivery digest plus the final clock value.
+func runMode(t *testing.T, cfg network.Config, dense bool) (*check.Digest, int64) {
+	t.Helper()
+	n := mustNet(t, cfg)
+	n.SetDense(dense)
+	d := check.AttachDigest(n)
+	c := check.Attach(n, check.Options{Interval: 64})
+	n.Run()
+	if err := c.Err(); err != nil {
+		t.Fatalf("dense=%v: %v", dense, err)
+	}
+	return d, n.Clock.Now()
+}
+
+// TestSkipAheadDenseEquivalence is the byte-identity statement for the
+// active-set sweep: for every configuration and seed, the sparse engine
+// (active sets + quiescence skip-ahead) must deliver the exact same message
+// stream — same digest, same count — and finish at the exact same cycle as
+// dense stepping, with the invariant checker clean in both modes. Low rates
+// exercise the skip-ahead fast path hardest (most cycles touch almost
+// nothing); moderate rates exercise mid-sweep wake ordering.
+func TestSkipAheadDenseEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		kind schemes.Kind
+		pat  *protocol.Pattern
+		vcs  int
+		rate float64
+		seed uint64
+	}{
+		{"PR-PAT721-low", schemes.PR, protocol.PAT721, 4, 0.002, 1},
+		{"PR-PAT721-mid", schemes.PR, protocol.PAT721, 4, 0.015, 7},
+		{"PR-PAT280-fanout", schemes.PR, protocol.PAT280, 4, 0.01, 3},
+		{"DR-PAT721-mid", schemes.DR, protocol.PAT721, 8, 0.012, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg(tc.kind, tc.pat, tc.vcs, tc.rate)
+			cfg.Seed = tc.seed
+			dDense, clkDense := runMode(t, cfg, true)
+			dSkip, clkSkip := runMode(t, cfg, false)
+			if dDense.Sum() != dSkip.Sum() || dDense.Count() != dSkip.Count() {
+				t.Fatalf("digest diverged: dense %v (%d deliveries) vs skip-ahead %v (%d)",
+					dDense, dDense.Count(), dSkip, dSkip.Count())
+			}
+			if clkDense != clkSkip {
+				t.Fatalf("final clock diverged: dense %d vs skip-ahead %d", clkDense, clkSkip)
+			}
+			if dDense.Count() == 0 {
+				t.Fatal("equivalence vacuous: nothing delivered")
+			}
+		})
+	}
+}
+
+// TestRoutedMaskDriftCaught forges the exact corruption the bitmask sweep is
+// exposed to: clearing a VC's canonical Route field without going through
+// clearRoute, so the router's routed word and hoisted mirror go stale. The
+// active-state cross-check must flag both within one CheckNow.
+func TestRoutedMaskDriftCaught(t *testing.T) {
+	n := mustNet(t, smallCfg(schemes.PR, protocol.PAT271, 8, 0.01))
+	c := check.Attach(n, check.Options{})
+
+	var target *router.VC
+	for i := 0; i < 3000 && target == nil; i++ {
+		n.RunCycles(1)
+		for _, ch := range n.Channels {
+			for _, vc := range ch.VCs {
+				if vc.Route != nil {
+					target = vc
+					break
+				}
+			}
+			if target != nil {
+				break
+			}
+		}
+	}
+	if target == nil {
+		t.Fatal("no routed VC appeared within 3000 cycles")
+	}
+
+	target.Route = nil // bypasses clearRoute: word and mirror keep the stale route
+	c.CheckNow(n.Clock.Now())
+	for _, rule := range []string{"routed-mask-drift", "route-mirror-drift"} {
+		if !hasRule(c.Violations(), rule) {
+			t.Errorf("%s not caught; rules seen: %v", rule, rules(c.Violations()))
+		}
+	}
+}

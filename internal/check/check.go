@@ -357,6 +357,59 @@ func (c *Checker) CheckNow(now int64) {
 			fmt.Sprintf("incremental counter %d != channel scan %d", got, scan))
 	}
 
+	// --- active-set state: the occupancy/routing/credit bitmask words and
+	// hoisted route mirrors must agree with the canonical VC fields (they are
+	// maintained incrementally on every mutation), and a router or NI outside
+	// the active sweep set must genuinely have nothing to do ---
+	for id, r := range n.Routers {
+		if !r.ActiveStateReady() {
+			continue // router never stepped; masks not built yet
+		}
+		allEmpty := true
+		for i, in := range r.Inputs {
+			if in == nil {
+				continue
+			}
+			occ, routed, ready := r.InputOccWord(i), r.InputRoutedWord(i), r.InputReadyWord(i)
+			if occ != 0 {
+				allEmpty = false
+			}
+			for v, vc := range in.VCs {
+				if occ>>uint(v)&1 == 1 != (vc.Len() > 0) {
+					c.report(now, "occ-mask-drift",
+						fmt.Sprintf("router %d input %d: occ bit %d=%d but %v holds %d flits", id, i, v, occ>>uint(v)&1, vc, vc.Len()))
+				}
+				if routed>>uint(v)&1 == 1 != (vc.Route != nil) {
+					c.report(now, "routed-mask-drift",
+						fmt.Sprintf("router %d input %d: routed bit %d=%d but %v route=%v", id, i, v, routed>>uint(v)&1, vc, vc.Route))
+				}
+				if mr, mp := r.MirroredRoute(i, v); mr != vc.Route || (vc.Route != nil && mp != vc.RoutePort) {
+					c.report(now, "route-mirror-drift",
+						fmt.Sprintf("router %d input %d vc %d: mirror (%v,%d) != canonical (%v,%d)", id, i, v, mr, mp, vc.Route, vc.RoutePort))
+				}
+				wantReady := vc.Route != nil && vc.Route.SpaceFor()
+				if ready>>uint(v)&1 == 1 != wantReady {
+					c.report(now, "ready-mask-drift",
+						fmt.Sprintf("router %d input %d: ready bit %d=%d but route space=%v", id, i, v, ready>>uint(v)&1, wantReady))
+				}
+			}
+			if !n.RouterActive(id) && occ != 0 {
+				c.report(now, "inactive-router-occupied",
+					fmt.Sprintf("router %d outside the active set but input %d has occ word %#x", id, i, occ))
+			}
+		}
+		if r.InputsIdle() != allEmpty {
+			c.report(now, "occ-count-drift",
+				fmt.Sprintf("router %d: InputsIdle()=%v but occ-word scan empty=%v", id, r.InputsIdle(), allEmpty))
+		}
+	}
+	for _, ni := range n.NIs {
+		if ep := ni.Cfg.Endpoint; !n.NIActive(ep) && !ni.Idle() {
+			c.report(now, "inactive-ni-busy",
+				fmt.Sprintf("ni%d outside the active set but not idle", ep))
+		}
+	}
+
 	// --- per-packet conservation: buffered flits are exactly the sent,
 	// not-yet-arrived contiguous range of the worm ---
 	var inflight int64

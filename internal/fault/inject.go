@@ -107,6 +107,11 @@ func Attach(n *network.Network, plan *Plan) (*Injector, error) {
 	if plan.Empty() {
 		return inj, nil
 	}
+	// Freeze and stall faults make components skip whole steps (no
+	// round-robin rotation at all), which the active-set engine's idle
+	// catch-up cannot replay; force the classic dense sweep for any
+	// non-empty plan so faulty runs stay cycle-exact.
+	n.SetDense(true)
 	if plan.has(LinkDown) && n.Health == nil {
 		n.Health = routing.NewHealth(tor)
 	}
@@ -162,6 +167,7 @@ func (inj *Injector) apply(i int, now int64) {
 	switch e.Kind {
 	case LinkDown:
 		inj.n.Health.KillLink(topology.NodeID(e.Router), topology.Direction(e.Dir))
+		inj.n.InvalidateRouting()
 		st.done = true
 		inj.record(i, now, e.Router, fmt.Sprintf("link-down %d dir %d", e.Router, e.Dir))
 	case LinkFlaky:

@@ -114,6 +114,12 @@ type Config struct {
 type outEntry struct {
 	msg *message.Message
 	pkt *message.Packet
+	// vc caches the injection VC claimed by pkt once it reaches the queue
+	// head, saving a per-cycle scan of the channel's VCs. It can never go
+	// stale: the entry leaves the queue when the tail flit is staged (the
+	// claim outlives the entry) and every rescue/fault evacuation of a
+	// claimed VC runs AbortInjection, which pops the entry too.
+	vc *router.VC
 }
 
 // pendingEntry is an MSHR-generated subordinate waiting for output-queue
@@ -180,6 +186,13 @@ type NI struct {
 	// statistics); DeflectCount counts deflection pops performed here.
 	ServicedCount int64
 	DeflectCount  int64
+
+	// wake notifies the network's active-set sweep that an external event
+	// (generated traffic, a recovery-lane delivery, a rescue request, an
+	// aborted injection) touched this NI, so it must be stepped again. A
+	// spurious wake is always safe — stepping an idle NI is a pure
+	// round-robin rotation — so every site calls it unconditionally.
+	wake func()
 }
 
 // New constructs an NI from its config.
@@ -224,7 +237,13 @@ func (n *NI) queueOf(m *message.Message) int {
 // waiting time as part of message latency.
 func (n *NI) EnqueueSource(m *message.Message) {
 	n.sourceQ = append(n.sourceQ, m)
+	if n.wake != nil {
+		n.wake()
+	}
 }
+
+// SetWakeHook installs the network's active-set notification callback.
+func (n *NI) SetWakeHook(fn func()) { n.wake = fn }
 
 // SourceBacklog returns the number of generated requests not yet accepted
 // into an output queue.
@@ -297,6 +316,9 @@ func (n *NI) EnqueueOut(m *message.Message) {
 	}
 	pkt := n.Cfg.Pool.NewPacket(n.Cfg.NextPacketID(), m)
 	n.outQ[q] = append(n.outQ[q], outEntry{msg: m, pkt: pkt})
+	if n.wake != nil {
+		n.wake()
+	}
 }
 
 // CtrlIdle reports whether the memory controller is idle this cycle.
@@ -313,6 +335,9 @@ func (n *NI) RequestRescueService(m *message.Message) bool {
 		return false
 	}
 	n.rescueReq = m
+	if n.wake != nil {
+		n.wake()
+	}
 	return true
 }
 
@@ -328,6 +353,9 @@ func (n *NI) RescueBusy() bool {
 // input-queue slot was already allocated at header time (normal ejection).
 func (n *NI) DeliverMessage(m *message.Message, now int64, reserved bool) {
 	m.Delivered = now
+	if n.wake != nil {
+		n.wake()
+	}
 	if n.Cfg.Hooks.Delivered != nil {
 		n.Cfg.Hooks.Delivered(m, now)
 	}
@@ -402,9 +430,21 @@ func (n *NI) drainEjection(now int64) {
 	if n.Eject == nil {
 		return
 	}
+	occ := n.Eject.OccMask()
+	if occ == 0 {
+		n.ejRR++
+		return
+	}
 	vcs := n.Eject.VCs
-	for k := 0; k < len(vcs); k++ {
-		vc := vcs[(n.ejRR+k)%len(vcs)]
+	j := n.ejRR % len(vcs)
+	for k := 0; k < len(vcs); k, j = k+1, j+1 {
+		if j == len(vcs) {
+			j = 0
+		}
+		if occ>>uint(j)&1 == 0 {
+			continue
+		}
+		vc := vcs[j]
 		f, ok := vc.Front()
 		if !ok {
 			continue
@@ -553,29 +593,30 @@ func (n *NI) inject(now int64) {
 	}
 	// Allocate VCs for queue heads that lack one.
 	for q := 0; q < n.Cfg.Queues; q++ {
-		if len(n.outQ[q]) == 0 {
+		if len(n.outQ[q]) == 0 || n.outQ[q][0].vc != nil {
 			continue
 		}
 		e := n.outQ[q][0]
-		if n.vcFor(e.pkt) != nil {
-			continue
-		}
 		for _, idx := range n.Cfg.InjectVCs(e.msg) {
 			vc := n.Inject.VCs[idx]
 			if vc.Owner == nil {
 				vc.Owner = e.pkt
+				n.outQ[q][0].vc = vc
 				break
 			}
 		}
 	}
 	// Stream one flit from one claimed head.
-	for k := 0; k < n.Cfg.Queues; k++ {
-		q := (n.injRR + k) % n.Cfg.Queues
+	q := n.injRR % n.Cfg.Queues
+	for k := 0; k < n.Cfg.Queues; k, q = k+1, q+1 {
+		if q == n.Cfg.Queues {
+			q = 0
+		}
 		if len(n.outQ[q]) == 0 {
 			continue
 		}
 		e := n.outQ[q][0]
-		vc := n.vcFor(e.pkt)
+		vc := e.vc
 		if vc == nil || !vc.SpaceFor() {
 			continue
 		}
@@ -602,6 +643,9 @@ func (n *NI) inject(now int64) {
 // message buffer instead of the injection channel. It returns whether the
 // packet was found streaming here.
 func (n *NI) AbortInjection(pkt *message.Packet) bool {
+	if n.wake != nil {
+		n.wake()
+	}
 	for q := 0; q < n.Cfg.Queues; q++ {
 		if len(n.outQ[q]) > 0 && n.outQ[q][0].pkt == pkt {
 			n.popOutQ(q)
@@ -620,17 +664,7 @@ func (n *NI) OutHead(q int) (*message.Message, *message.Packet, *router.VC, bool
 		return nil, nil, nil, false
 	}
 	e := n.outQ[q][0]
-	return e.msg, e.pkt, n.vcFor(e.pkt), true
-}
-
-// vcFor finds the injection VC currently claimed by pkt.
-func (n *NI) vcFor(pkt *message.Packet) *router.VC {
-	for _, vc := range n.Inject.VCs {
-		if vc.Owner == pkt {
-			return vc
-		}
-	}
-	return nil
+	return e.msg, e.pkt, e.vc, true
 }
 
 // detectFillSlots converts the DetectFill fraction into a slot count.
@@ -748,4 +782,44 @@ func (n *NI) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// Idle reports whether stepping this NI would be a pure round-robin
+// rotation — the network's deactivation condition. Beyond Quiescent it
+// requires (a) every detector streak already reset: a dense step zeroes a
+// stale streak, and skipping that reset would let a later refill resume an
+// old count and fire detection early; and (b) no committed ejection flits:
+// drainEjection would otherwise do real work. In-flight ejection
+// reservations (inAlloc) do not block idleness: the detector needs a
+// non-empty input queue to arm, and the worm's next flit dirties the
+// ejection channel, which re-wakes the NI.
+func (n *NI) Idle() bool {
+	if !n.Quiescent() {
+		return false
+	}
+	for q := range n.streak {
+		if n.streak[q] != 0 {
+			return false
+		}
+	}
+	if n.Eject != nil && n.Eject.OccMask() != 0 {
+		return false
+	}
+	return true
+}
+
+// SkipIdle advances round-robin state by k cycles' worth of idle steps in
+// O(1). A Step with Idle() true mutates exactly the three rotation cursors
+// (ejection, controller, injection), each by one: every queue scan falls
+// through and every detector arm sees an empty queue. The network calls
+// this to catch a sleeping NI up before it re-enters the sweep, keeping
+// arbitration byte-identical to dense stepping.
+func (n *NI) SkipIdle(k int64) {
+	if n.Eject != nil {
+		n.ejRR += int(k)
+	}
+	n.ctrlRR += int(k)
+	if n.Inject != nil {
+		n.injRR += int(k)
+	}
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/deadlock"
@@ -63,10 +64,15 @@ type Network struct {
 	// independent.
 	Pool *message.Pool
 
-	// candBuf is the retained scratch the routing policy fills each call;
-	// the simulation is single-threaded and every caller consumes the
-	// candidate list before requesting another, so one buffer suffices.
-	candBuf []routing.PortVC
+	// candMemo holds precomputed routing candidates keyed by (routing
+	// combo, destination endpoint, router): candidate lists are pure
+	// functions of those plus link health, so each is computed once and
+	// the returned slice stays valid until InvalidateRouting drops the
+	// table after a health change. candCombo maps (type, backoff) to its
+	// deduplicated (mode, VC set) combo index. Built by fillCandMemo on
+	// first use.
+	candMemo  [][]routing.PortVC
+	candCombo [int(message.NumTypes) * 2]int8
 
 	// injectVCs caches Scheme.VCSetFor(...).All() per (type, backoff) so
 	// the NI injection path never materializes the list.
@@ -92,6 +98,35 @@ type Network struct {
 	// OnCycle, when non-nil, runs at the end of every cycle (used by the
 	// trace harness to sample load and by tests to observe state).
 	OnCycle func(now int64)
+
+	// Active-set sweep state (see Step). activeRW/activeNIW are bitmask
+	// words (bit = component must be stepped this cycle); sweeps iterate
+	// set bits in ascending ID order — the dense order — and the all-idle
+	// fast path tests a word or two for zero. lastR/lastNI record the cycle
+	// each component last stepped so SkipIdle can fold the skipped idle
+	// cycles' round-robin rotations in before it re-enters the sweep — the
+	// mechanism that keeps results byte-identical to dense stepping.
+	activeRW  []uint64
+	activeNIW []uint64
+	lastR     []int64
+	lastNI    []int64
+
+	// dirtyCh lists channels that received staged flits this cycle (fed by
+	// the channel stage hooks); only these are committed in the active
+	// sweep, and committing one wakes its consumer. chEP maps an ejection
+	// channel's ID to its endpoint for that wake (-1 for other kinds).
+	dirtyCh []*router.Channel
+	chEP    []int
+
+	// skipAhead enables the idle fast path (on by default; netsim
+	// -skip-ahead=false and SetDense both force dense stepping).
+	// forceDense restores the classic full sweep: set under fault
+	// injection, whose freeze/stall faults suppress round-robin rotation in
+	// ways SkipIdle cannot replay, and available to tests/tools for
+	// differential runs. An attached profiler also forces dense so phase
+	// accounting stays exact.
+	skipAhead  bool
+	forceDense bool
 }
 
 // New builds a network with the built-in synthetic uniform-random source at
@@ -160,6 +195,7 @@ func newBare(cfg Config) (*Network, error) {
 	for _, ch := range n.Channels {
 		ch.SetOccupancyCounter(&n.occupied)
 	}
+	n.initActive()
 	if cfg.Scheme == schemes.PR {
 		n.Token = token.NewManager(tor, cfg.TokenHopCycles)
 		n.Rescue = core.New(core.Config{
@@ -270,13 +306,78 @@ func (n *Network) newPacketID() message.PacketID {
 
 // Candidates implements router.Policy: the routing function candidates for
 // pkt positioned at router r, under the scheme's VC partition for its type.
+// Results come from the pre-built memo table; the returned slice stays valid
+// until InvalidateRouting (satisfying the router.Policy aliasing contract).
 func (n *Network) Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC {
+	if n.candMemo == nil {
+		n.fillCandMemo()
+	}
 	m := pkt.Msg
-	dst := n.Torus.EndpointByID(m.Dst)
-	mode := n.Scheme.RoutingMode(m.Type, m.Backoff || m.Nack)
-	set := n.Scheme.VCSetFor(m.Type, m.Backoff || m.Nack)
-	n.candBuf = routing.AppendCandidatesHealth(n.candBuf[:0], n.Health, n.Torus, mode, r, dst.Router, dst.Local, set)
-	return n.candBuf
+	bo := 0
+	if m.Backoff || m.Nack {
+		bo = 1
+	}
+	combo := n.candCombo[int(m.Type)*2+bo]
+	return n.candMemo[(int(combo)*n.Torus.Endpoints()+m.Dst)*len(n.Routers)+int(r)]
+}
+
+// fillCandMemo computes the candidate list for every (routing combo,
+// destination endpoint, router) triple. Many message types share one
+// (mode, VC set) combo under a given scheme — all of them under PR — so the
+// table is deduplicated by combo, keeping it small enough to fill eagerly:
+// one pass here instead of a long tail of first-seen allocations on the
+// steady-state hot path.
+func (n *Network) fillCandMemo() {
+	type combo struct {
+		mode routing.Mode
+		set  routing.VCSet
+	}
+	var combos []combo
+	for t := 0; t < int(message.NumTypes); t++ {
+		for bo := 0; bo < 2; bo++ {
+			mode := n.Scheme.RoutingMode(message.Type(t), bo == 1)
+			set := n.Scheme.VCSetFor(message.Type(t), bo == 1)
+			idx := -1
+			for i, c := range combos {
+				if c.mode == mode && intsEqual(c.set.Escape, set.Escape) && intsEqual(c.set.Adaptive, set.Adaptive) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				idx = len(combos)
+				combos = append(combos, combo{mode, set})
+			}
+			n.candCombo[t*2+bo] = int8(idx)
+		}
+	}
+	eps, nr := n.Torus.Endpoints(), len(n.Routers)
+	n.candMemo = make([][]routing.PortVC, len(combos)*eps*nr)
+	empty := []routing.PortVC{} // shared "no route" sentinel
+	for ci, c := range combos {
+		for d := 0; d < eps; d++ {
+			dst := n.Torus.EndpointByID(d)
+			for r := 0; r < nr; r++ {
+				cands := routing.AppendCandidatesHealth(nil, n.Health, n.Torus, c.mode, topology.NodeID(r), dst.Router, dst.Local, c.set)
+				if cands == nil {
+					cands = empty
+				}
+				n.candMemo[(ci*eps+d)*nr+r] = cands
+			}
+		}
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // FaultStats tallies losses attributable to injected faults.
@@ -428,31 +529,262 @@ func (n *Network) onRescueServiced(ni *netiface.NI, m *message.Message, subs []*
 	n.Rescue.Serviced(ni, m, subs, now)
 }
 
-// Step advances the system one cycle. The phase-profiler marks sit on the
-// pipeline boundaries that already exist (routing and arbitration mark
-// themselves inside Router.Step); a detached profiler costs one nil check
-// per boundary and the pipeline order is identical either way.
-func (n *Network) Step() {
-	if n.prof != nil {
-		n.prof.BeginCycle()
+// initActive builds the active-set sweep state: every component starts
+// active (the first Step sweeps it, after which idle ones fall out), NI wake
+// hooks and channel stage hooks feed the sets, and chEP maps ejection
+// channels to their endpoints so committing one can wake the right NI.
+func (n *Network) initActive() {
+	n.activeRW = make([]uint64, (len(n.Routers)+63)/64)
+	n.activeNIW = make([]uint64, (len(n.NIs)+63)/64)
+	n.lastR = make([]int64, len(n.Routers))
+	n.lastNI = make([]int64, len(n.NIs))
+	for i := range n.lastR {
+		n.activeRW[i>>6] |= 1 << uint(i&63)
+		n.lastR[i] = -1
 	}
-	now := n.Clock.Now()
+	for i := range n.lastNI {
+		n.activeNIW[i>>6] |= 1 << uint(i&63)
+		n.lastNI[i] = -1
+	}
+	n.dirtyCh = make([]*router.Channel, 0, len(n.Channels))
+	n.chEP = make([]int, len(n.Channels))
+	for i := range n.chEP {
+		n.chEP[i] = -1
+	}
+	for ep, ni := range n.NIs {
+		ep := ep
+		ni.SetWakeHook(func() { n.wakeNI(ep) })
+		n.chEP[ni.Eject.ID] = ep
+	}
+	for _, ch := range n.Channels {
+		ch.SetStageHook(n.noteDirty)
+	}
+	n.skipAhead = true
+}
+
+func (n *Network) noteDirty(ch *router.Channel) {
+	n.dirtyCh = append(n.dirtyCh, ch)
+}
+
+func (n *Network) wakeNI(ep int) {
+	n.activeNIW[ep>>6] |= 1 << uint(ep&63)
+}
+
+func (n *Network) wakeRouter(id int) {
+	n.activeRW[id>>6] |= 1 << uint(id&63)
+}
+
+// maskEmpty reports whether every word of an active-set mask is zero.
+func maskEmpty(ws []uint64) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetSkipAhead toggles the idle fast path; the active-set sweep itself stays
+// on. Results are byte-identical either way.
+func (n *Network) SetSkipAhead(on bool) { n.skipAhead = on }
+
+// SetDense forces the classic dense sweep: every component stepped every
+// cycle, every channel committed. Required under fault injection (freeze and
+// stall faults suppress round-robin rotation in ways idle catch-up cannot
+// replay) and useful for differential testing against the active-set engine.
+func (n *Network) SetDense(on bool) { n.forceDense = on }
+
+// RouterActive reports whether router id is in the active sweep set (for the
+// invariant checker: an inactive router must have all-empty input VCs).
+func (n *Network) RouterActive(id int) bool { return n.activeRW[id>>6]>>uint(id&63)&1 == 1 }
+
+// NIActive reports whether endpoint ep's NI is in the active sweep set (for
+// the invariant checker: an inactive NI must be Idle).
+func (n *Network) NIActive(ep int) bool { return n.activeNIW[ep>>6]>>uint(ep&63)&1 == 1 }
+
+// InvalidateRouting flushes every router's memoized candidate lists. Fault
+// injectors must call it after mutating the link-health mask so blocked
+// headers immediately re-derive their candidates against the new topology.
+func (n *Network) InvalidateRouting() {
+	n.candMemo = nil
+	for _, r := range n.Routers {
+		r.InvalidateCandidates()
+	}
+}
+
+// generate runs the traffic source for every endpoint. It must run every
+// cycle outside the drain phase — including fast-path cycles — because each
+// endpoint's Bernoulli stream draws once per cycle and skipping a draw would
+// desynchronize the RNG from the dense engine.
+func (n *Network) generate(now int64) {
 	if n.Clock.Phase() != sim.PhaseDrain && n.Source != nil {
 		for ep, ni := range n.NIs {
 			n.Source.Generate(now, ep, ni)
 		}
 	}
+}
+
+// scanDue reports whether the periodic CWG scan fires this cycle.
+func (n *Network) scanDue(now int64) bool {
+	return n.scan != nil && n.Cfg.CWGInterval > 0 && now > 0 && now%n.Cfg.CWGInterval == 0
+}
+
+// Step advances the system one cycle. Three regimes share identical
+// semantics:
+//
+//   - dense (profiler attached or SetDense): the classic full sweep — every
+//     NI and router steps, every channel commits.
+//   - active sweep: only components in the active sets step, after an O(1)
+//     SkipIdle catch-up replaying the round-robin rotations of the cycles
+//     they slept through; only dirty channels commit, and each commit wakes
+//     the consumer for the next cycle.
+//   - fast path (skipAhead, no active component, no dirty channel, no scan
+//     due): per-cycle housekeeping only — traffic generation (RNG streams
+//     advance every cycle), the rescue token walk, sampler/OnCycle, clock.
+//
+// The phase-profiler marks sit on the pipeline boundaries that already exist
+// (routing and arbitration mark themselves inside Router.Step); since an
+// attached profiler forces the dense regime, its phase accounting is exact.
+func (n *Network) Step() {
+	if n.prof != nil || n.forceDense {
+		n.stepDense()
+		return
+	}
+	now := n.Clock.Now()
+	if n.skipAhead && maskEmpty(n.activeRW) && maskEmpty(n.activeNIW) &&
+		len(n.dirtyCh) == 0 && !n.scanDue(now) {
+		n.generate(now)
+		if maskEmpty(n.activeNIW) {
+			if n.Rescue != nil {
+				n.Rescue.Step(now)
+			}
+			if n.sampler != nil {
+				n.sampler.Tick(now)
+			}
+			if n.OnCycle != nil {
+				n.OnCycle(now)
+			}
+			n.Clock.Tick()
+			return
+		}
+		// Generation woke an NI: fall into the sweep without re-drawing.
+		n.stepActive(now, false)
+		return
+	}
+	n.stepActive(now, true)
+}
+
+// stepActive runs one cycle of the active-set sweep. Each mask word is
+// snapshotted and its set bits visited ascending — the dense ID order. A
+// component woken mid-sweep (only self-steps and the post-sweep rescue and
+// commit phases wake anyone) steps next cycle instead; it would have
+// performed a pure rotation step this cycle anyway (the wake cause is
+// invisible until channel commit), which its catch-up replays exactly.
+func (n *Network) stepActive(now int64, gen bool) {
+	if gen {
+		n.generate(now)
+	}
+	for wi, w := range n.activeNIW {
+		for w != 0 {
+			b := w & (-w)
+			ep := wi<<6 + bits.TrailingZeros64(w)
+			w &^= b
+			ni := n.NIs[ep]
+			if k := now - 1 - n.lastNI[ep]; k > 0 {
+				ni.SkipIdle(k)
+			}
+			n.lastNI[ep] = now
+			ni.Step(now)
+			if ni.Idle() {
+				n.activeNIW[wi] &^= b
+			}
+		}
+	}
+	for wi, w := range n.activeRW {
+		for w != 0 {
+			b := w & (-w)
+			id := wi<<6 + bits.TrailingZeros64(w)
+			w &^= b
+			r := n.Routers[id]
+			if k := now - 1 - n.lastR[id]; k > 0 {
+				r.SkipIdle(k)
+			}
+			n.lastR[id] = now
+			r.Step(now)
+			if r.InputsIdle() {
+				n.activeRW[wi] &^= b
+			}
+		}
+	}
+	if n.Rescue != nil {
+		n.Rescue.Step(now)
+	}
+	// Commit only the channels that staged flits this cycle; committed
+	// flits become visible next cycle, so wake each consumer. Cross-channel
+	// commit order is immaterial: commits touch disjoint VC state and a
+	// shared counter.
+	dirty := n.dirtyCh
+	n.dirtyCh = n.dirtyCh[:0]
+	for _, ch := range dirty {
+		ch.Commit(now)
+		if ch.Kind == router.KindEject {
+			n.wakeNI(n.chEP[ch.ID])
+		} else {
+			n.wakeRouter(int(ch.Dst))
+		}
+	}
+	if n.scanDue(now) {
+		n.scan(now)
+	}
+	if n.sampler != nil {
+		n.sampler.Tick(now)
+	}
+	if n.OnCycle != nil {
+		n.OnCycle(now)
+	}
+	n.Clock.Tick()
+}
+
+// stepDense runs the classic full sweep. The inline catch-up handles the
+// transition from the active regimes (a profiler attached mid-run finds some
+// components asleep); at dense steady state every k is zero. Activity flags
+// are maintained here too, so a later switch back to the active sweep
+// resumes from exact state.
+func (n *Network) stepDense() {
+	if n.prof != nil {
+		n.prof.BeginCycle()
+	}
+	now := n.Clock.Now()
+	n.generate(now)
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseSource)
 	}
-	for _, ni := range n.NIs {
+	for ep, ni := range n.NIs {
+		if k := now - 1 - n.lastNI[ep]; k > 0 {
+			ni.SkipIdle(k)
+		}
+		n.lastNI[ep] = now
 		ni.Step(now)
+		if ni.Idle() {
+			n.activeNIW[ep>>6] &^= 1 << uint(ep&63)
+		} else {
+			n.activeNIW[ep>>6] |= 1 << uint(ep&63)
+		}
 	}
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseProtocol)
 	}
-	for _, r := range n.Routers {
+	for id, r := range n.Routers {
+		if k := now - 1 - n.lastR[id]; k > 0 {
+			r.SkipIdle(k)
+		}
+		n.lastR[id] = now
 		r.Step(now)
+		if r.InputsIdle() {
+			n.activeRW[id>>6] &^= 1 << uint(id&63)
+		} else {
+			n.activeRW[id>>6] |= 1 << uint(id&63)
+		}
 	}
 	if n.Rescue != nil {
 		n.Rescue.Step(now)
@@ -463,10 +795,22 @@ func (n *Network) Step() {
 	for _, c := range n.Channels {
 		c.Commit(now)
 	}
+	// Commits above already cleared every stage-pending flag; replay the
+	// dirty list purely for its consumer wakes so the active sets stay
+	// exact across regime switches.
+	dirty := n.dirtyCh
+	n.dirtyCh = n.dirtyCh[:0]
+	for _, ch := range dirty {
+		if ch.Kind == router.KindEject {
+			n.wakeNI(n.chEP[ch.ID])
+		} else {
+			n.wakeRouter(int(ch.Dst))
+		}
+	}
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseCredit)
 	}
-	if n.scan != nil && n.Cfg.CWGInterval > 0 && now > 0 && now%n.Cfg.CWGInterval == 0 {
+	if n.scanDue(now) {
 		n.scan(now)
 	}
 	if n.prof != nil {

@@ -9,6 +9,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/message"
 	"repro/internal/topology"
@@ -51,6 +52,13 @@ type VC struct {
 	buf    []message.Flit
 	staged []message.Flit
 
+	// bufArr/stagedArr back buf and staged for shallow VCs (cap small
+	// enough to fit), keeping a worm's flits on the VC's own cache lines
+	// instead of separate heap blocks; NewChannel points the slices here.
+	// Deeper VCs (e.g. recovery lanes) fall back to heap-backed slices.
+	bufArr    [4]message.Flit
+	stagedArr [4]message.Flit
+
 	// Owner is the packet whose worm currently holds this VC, nil if free.
 	Owner *message.Packet
 	// Route is the downstream VC allocated for Owner's worm when this VC
@@ -82,6 +90,25 @@ type VC struct {
 	// maintained incrementally so quiescence checks need not scan every
 	// channel. It counts committed (buf) flits only, matching Occupied.
 	occ *int64
+
+	// host, word and flat tie this VC into the occupancy bitmasks of the
+	// router consuming its channel as an input: host.words[word].occ carries
+	// one bit per VC (bit Index = committed flits present), and flat indexes the
+	// router's struct-of-arrays route mirrors. Set by Router.initState on
+	// the router's first Step; nil/zero for VCs that are no router's input
+	// (ejection channels) and for bare VCs in unit tests, which then skip
+	// all mask bookkeeping.
+	host *Router
+	word int32
+	flat int32
+
+	// feeder, on a VC that is some router's allocated route target, points
+	// back at the (unique — ownership is exclusive) input VC routed into
+	// it. Occupancy changes here maintain the feeder router's ready
+	// bitmask (bit = route target has space), so switch arbitration never
+	// dereferences downstream buffers: a worm blocked on a full target
+	// drops out of the request pass until a dequeue below frees a slot.
+	feeder *VC
 }
 
 // Cap returns the buffer capacity in flits.
@@ -96,6 +123,9 @@ func (v *VC) ReduceCap() bool {
 		return false
 	}
 	v.cap--
+	if v.feeder != nil && len(v.buf)+len(v.staged) >= v.cap {
+		v.feeder.host.words[v.feeder.word].ready &^= 1 << uint(v.feeder.Index)
+	}
 	return true
 }
 
@@ -133,21 +163,45 @@ func (v *VC) Stage(f message.Flit) {
 		panic(fmt.Sprintf("router: staging into full VC %v", v))
 	}
 	v.staged = append(v.staged, f)
+	if v.Ch != nil {
+		v.Ch.noteStaged(v.Index)
+	}
+	if v.feeder != nil && len(v.buf)+len(v.staged) >= v.cap {
+		v.feeder.host.words[v.feeder.word].ready &^= 1 << uint(v.feeder.Index)
+	}
 }
 
 // Commit merges staged arrivals into the visible buffer; the network calls
 // this once per cycle after all routers and NIs have acted, so that a flit
 // traverses at most one hop per cycle.
 func (v *VC) Commit(now int64) {
-	if len(v.staged) > 0 {
-		if len(v.buf) == 0 {
-			v.LastMove = now
-		}
-		if v.occ != nil {
-			*v.occ += int64(len(v.staged))
-		}
+	ns := len(v.staged)
+	if ns == 0 {
+		return
+	}
+	if len(v.buf) == 0 {
+		v.LastMove = now
+	}
+	if v.occ != nil {
+		*v.occ += int64(ns)
+	}
+	if ns == 1 {
+		// The common case — link bandwidth admits one flit per cycle — is
+		// a plain append; the bulk copy below only serves multi-flit
+		// staging (e.g. rescue drains).
+		v.buf = append(v.buf, v.staged[0])
+	} else {
 		v.buf = append(v.buf, v.staged...)
-		v.staged = v.staged[:0]
+	}
+	v.staged = v.staged[:0]
+	if v.host != nil {
+		if v.host.words[v.word].occ>>uint(v.Index)&1 == 0 {
+			v.host.occCount++
+		}
+		v.host.words[v.word].occ |= 1 << uint(v.Index)
+	}
+	if v.Ch != nil {
+		v.Ch.occMask |= 1 << uint(v.Index)
 	}
 }
 
@@ -163,14 +217,43 @@ func (v *VC) Dequeue(now int64) message.Flit {
 	if v.occ != nil {
 		*v.occ--
 	}
+	if len(v.buf) == 0 {
+		if v.host != nil {
+			v.host.words[v.word].occ &^= 1 << uint(v.Index)
+			v.host.occCount--
+		}
+		if v.Ch != nil {
+			v.Ch.occMask &^= 1 << uint(v.Index)
+		}
+	}
+	if v.feeder != nil {
+		// A dequeue always leaves space, so the feeder becomes ready.
+		v.feeder.host.words[v.feeder.word].ready |= 1 << uint(v.feeder.Index)
+	}
 	v.LastMove = now
 	if f.Tail() {
 		v.Owner = nil
-		v.Route = nil
-		v.RoutePort = 0
+		v.clearRoute()
 		v.stallNoted = false
 	}
 	return f
+}
+
+// clearRoute resets the allocated route and its router-side mirrors, and
+// drops any memoized candidates for the departing header.
+func (v *VC) clearRoute() {
+	if v.Route != nil {
+		v.Route.feeder = nil
+	}
+	v.Route = nil
+	v.RoutePort = 0
+	if v.host != nil {
+		v.host.words[v.word].routed &^= 1 << uint(v.Index)
+		v.host.words[v.word].ready &^= 1 << uint(v.Index)
+		v.host.mirror[v.flat].route = nil
+		v.host.mirror[v.flat].port = 0
+		v.host.candPkt[v.flat] = nil
+	}
 }
 
 // Evacuate removes every flit of the (rescued) owner packet from this VC and
@@ -189,9 +272,20 @@ func (v *VC) Evacuate(pkt *message.Packet, now int64) int {
 	}
 	v.buf = v.buf[:0]
 	v.staged = v.staged[:0]
+	if v.feeder != nil {
+		v.feeder.host.words[v.feeder.word].ready |= 1 << uint(v.feeder.Index)
+	}
 	v.Owner = nil
-	v.Route = nil
-	v.RoutePort = 0
+	v.clearRoute()
+	if v.host != nil {
+		if v.host.words[v.word].occ>>uint(v.Index)&1 != 0 {
+			v.host.occCount--
+		}
+		v.host.words[v.word].occ &^= 1 << uint(v.Index)
+	}
+	if v.Ch != nil {
+		v.Ch.occMask &^= 1 << uint(v.Index)
+	}
 	v.LastMove = now
 	v.stallNoted = false
 	return n
@@ -228,14 +322,59 @@ type Channel struct {
 	// it from the end-of-cycle hook, so it gates the *next* cycle's switch
 	// arbitration; buffered flits stay put and nothing is lost.
 	Stalled bool
+
+	// stagePending is set the first time a flit is staged into any VC this
+	// cycle and cleared by Commit; onStage (if wired) fires on that first
+	// staging so the network can commit only touched channels. stagedMask
+	// tracks which VCs hold staged flits so Commit visits only those.
+	stagePending bool
+	stagedMask   uint64
+	onStage      func(*Channel)
+
+	// occMask carries one bit per VC, set while that VC holds committed
+	// flits; Commit/Dequeue/Evacuate maintain it. Ejection drains and NI
+	// idleness checks test the word instead of walking every VC buffer.
+	occMask uint64
+}
+
+// OccMask returns the committed-occupancy bitmask: bit v is set iff VCs[v]
+// buffers at least one committed flit.
+func (c *Channel) OccMask() uint64 { return c.occMask }
+
+// SetStageHook installs fn to run once per cycle when the channel first
+// receives a staged flit. The network uses it to maintain its dirty-channel
+// list; the hook must be idempotent with respect to repeated cycles.
+func (c *Channel) SetStageHook(fn func(*Channel)) { c.onStage = fn }
+
+// StagePending reports whether the channel holds uncommitted staged flits.
+func (c *Channel) StagePending() bool { return c.stagePending }
+
+func (c *Channel) noteStaged(idx int) {
+	c.stagedMask |= 1 << uint(idx)
+	if c.stagePending {
+		return
+	}
+	c.stagePending = true
+	if c.onStage != nil {
+		c.onStage(c)
+	}
 }
 
 // NewChannel builds a channel with vcs virtual channels of depth flitBuf.
+// At most 64 VCs fit the per-channel occupancy and staging bitmask words.
 func NewChannel(kind ChannelKind, src, dst topology.NodeID, dir topology.Direction, local, id, vcs, flitBuf int) *Channel {
+	if vcs > 64 {
+		panic(fmt.Sprintf("router: %d VCs exceed the 64-bit channel bitmask", vcs))
+	}
 	ch := &Channel{Kind: kind, Src: src, Dst: dst, Dir: dir, Local: local, ID: id}
 	ch.VCs = make([]*VC, vcs)
 	for i := range ch.VCs {
-		ch.VCs[i] = &VC{Ch: ch, Index: i, cap: flitBuf}
+		vc := &VC{Ch: ch, Index: i, cap: flitBuf}
+		if flitBuf <= len(vc.bufArr) {
+			vc.buf = vc.bufArr[:0]
+			vc.staged = vc.stagedArr[:0]
+		}
+		ch.VCs[i] = vc
 	}
 	return ch
 }
@@ -251,10 +390,15 @@ func (c *Channel) String() string {
 	}
 }
 
-// Commit commits staged arrivals on all VCs.
+// Commit commits staged arrivals on every VC that staged this cycle.
 func (c *Channel) Commit(now int64) {
-	for _, v := range c.VCs {
-		v.Commit(now)
+	w := c.stagedMask
+	c.stagedMask = 0
+	c.stagePending = false
+	for w != 0 {
+		v := bits.TrailingZeros64(w)
+		w &= w - 1
+		c.VCs[v].Commit(now)
 	}
 }
 

@@ -1,6 +1,9 @@
 package router
 
 import (
+	"fmt"
+	"math/bits"
+
 	"repro/internal/message"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -12,7 +15,10 @@ import (
 type Policy interface {
 	// Candidates returns the ordered (port, VC) candidates for pkt at
 	// router r. Ports follow the routing package encoding: link directions
-	// first, then ejection ports.
+	// first, then ejection ports. The returned slice must stay valid and
+	// unmodified at least until the router's InvalidateCandidates is next
+	// called — the allocator memoizes it for blocked headers instead of
+	// copying.
 	Candidates(r topology.NodeID, pkt *message.Packet) []routing.PortVC
 }
 
@@ -79,13 +85,76 @@ type Router struct {
 	vaRR   int
 	pickRR int
 	saRR   []int
-	moved  []bool // per input channel: already forwarded a flit this cycle
 
-	// reqs and scanBuf are per-router scratch slices reused every cycle so
-	// that switch arbitration and blocked-packet scans allocate nothing at
-	// steady state.
-	reqs    []*VC
+	// scanBuf is a per-router scratch slice reused every scan so that
+	// blocked-packet collection allocates nothing at steady state.
 	scanBuf []*message.Packet
+
+	// Active-set state (built lazily by initState on the first Step or
+	// input scan, so tests may wire Inputs and pre-fill buffers first).
+	//
+	// words holds one occ/routed/ready word triple per input channel,
+	// packed so a scan touches contiguous cache lines: bit v of words[i].occ
+	// is set iff Inputs[i].VCs[v] holds committed flits, bit v of
+	// words[i].routed iff that VC has an allocated Route, and bit v of
+	// words[i].ready iff that Route currently has buffer space (maintained
+	// from the target side through the VC feeder back-pointer — the credit
+	// signal). The VC methods (Commit/Dequeue/Evacuate/Stage/ReduceCap) and
+	// setRoute maintain the bits at exactly the points the corresponding
+	// state changes, so allocate and arbitrate iterate set bits instead of
+	// walking every VC, and occ∧routed∧ready enumerates exactly the
+	// movable worms.
+	words []inWords
+
+	// occCount tracks the number of input VCs with committed flits (the
+	// number of set bits across words[*].occ), maintained on the same
+	// empty↔non-empty transitions as the occ bits, so the network's
+	// deactivation check (InputsIdle) is O(1) instead of a word scan.
+	occCount int32
+
+	// base maps input channel index -> flat VC offset (-1 for nil inputs);
+	// mirror is a flat array over all input VCs in (input, vc) order
+	// packing the VC pointer with its route mirror, so one cache line
+	// serves the whole arbitration visit. The *VC fields stay the source of
+	// truth for check/obs/fault consumers; mirrors are updated in lockstep
+	// by setRoute/clearRoute.
+	base   []int32
+	mirror []vcMirror
+
+	// reqBucket buckets arbitration requesters by output port in one pass
+	// over the live (occupied ∧ routed ∧ ready) bits, replacing a rescan of
+	// every input word per output. Entries are packed codes
+	// (input index << 16 | flat VC index) in ascending (input, vc) order,
+	// matching the dense gather order exactly.
+	reqBucket [][]int32
+
+	// candCache/candPkt memoize the routing candidates of the header
+	// fronting each input VC (indexed by flat offset): a blocked header
+	// retries allocation with an identical candidate list every cycle, so
+	// the policy runs once per (VC, packet) instead of once per cycle.
+	// Entries alias the slice the policy returned (its contract keeps it
+	// valid until InvalidateCandidates). They invalidate on allocation
+	// success and on route clear (the only exits for an unallocated
+	// header), and InvalidateCandidates flushes everything when link health
+	// changes under fault injection.
+	candCache [][]routing.PortVC
+	candPkt   []*message.Packet
+}
+
+// vcMirror is the hoisted per-input-VC scan state: the VC itself plus
+// mirrors of its Route and RoutePort, packed so arbitration touches one
+// cache line per live VC.
+type vcMirror struct {
+	vc    *VC
+	route *VC
+	port  int16
+}
+
+// inWords is one input channel's occupancy/routing/credit bit triple.
+type inWords struct {
+	occ    uint64
+	routed uint64
+	ready  uint64
 }
 
 // New builds a router shell; the network wires Inputs/Outputs afterwards.
@@ -96,8 +165,127 @@ func New(id topology.NodeID, policy Policy, numIn, numOut int) *Router {
 		Inputs:  make([]*Channel, numIn),
 		Outputs: make([]*Channel, numOut),
 		saRR:    make([]int, numOut),
-		moved:   make([]bool, numIn),
 	}
+}
+
+// initState builds the occupancy bitmasks and struct-of-arrays mirrors from
+// the current channel state. It runs once, lazily, on the first Step or
+// input scan: by then the network (or a test harness) has wired Inputs, and
+// any pre-filled buffers are folded into the masks here. From this point on
+// the VC mutation methods keep masks and mirrors in sync incrementally.
+func (r *Router) initState() {
+	nIn := len(r.Inputs)
+	r.words = make([]inWords, nIn)
+	r.base = make([]int32, nIn)
+	r.occCount = 0
+	total := 0
+	for i, in := range r.Inputs {
+		if in == nil {
+			r.base[i] = -1
+			continue
+		}
+		if len(in.VCs) > 64 {
+			panic(fmt.Sprintf("router: %d VCs on input %d exceed the 64-bit occupancy word", len(in.VCs), i))
+		}
+		r.base[i] = int32(total)
+		total += len(in.VCs)
+	}
+	r.mirror = make([]vcMirror, total)
+	r.reqBucket = make([][]int32, len(r.Outputs))
+	for o := range r.reqBucket {
+		r.reqBucket[o] = make([]int32, 0, 8)
+	}
+	r.candCache = make([][]routing.PortVC, total)
+	r.candPkt = make([]*message.Packet, total)
+	for i, in := range r.Inputs {
+		if in == nil {
+			continue
+		}
+		for v, vc := range in.VCs {
+			flat := r.base[i] + int32(v)
+			vc.host, vc.word, vc.flat = r, int32(i), flat
+			r.mirror[flat] = vcMirror{vc: vc, route: vc.Route, port: int16(vc.RoutePort)}
+			if vc.Len() > 0 {
+				r.words[i].occ |= 1 << uint(v)
+				r.occCount++
+			}
+			if vc.Route != nil {
+				r.words[i].routed |= 1 << uint(v)
+				vc.Route.feeder = vc
+				if vc.Route.SpaceFor() {
+					r.words[i].ready |= 1 << uint(v)
+				}
+			}
+		}
+	}
+}
+
+// setRoute records an allocated route on an input VC and its mirrors.
+func (r *Router) setRoute(vc *VC, out *VC, port int) {
+	vc.Route = out
+	vc.RoutePort = port
+	out.feeder = vc
+	r.words[vc.word].routed |= 1 << uint(vc.Index)
+	if out.SpaceFor() {
+		r.words[vc.word].ready |= 1 << uint(vc.Index)
+	}
+	r.mirror[vc.flat].route = out
+	r.mirror[vc.flat].port = int16(port)
+	r.candPkt[vc.flat] = nil
+}
+
+// InvalidateCandidates flushes the per-VC candidate memo. The network calls
+// this whenever the link-health mask changes (fault injection), since dead
+// links must drop out of blocked headers' candidate sets immediately.
+func (r *Router) InvalidateCandidates() {
+	if r.candPkt == nil {
+		return
+	}
+	for f := range r.candPkt {
+		r.candPkt[f] = nil
+	}
+}
+
+// ActiveStateReady reports whether initState has run; the invariant checker
+// skips mask cross-checks on routers that have never stepped.
+func (r *Router) ActiveStateReady() bool { return r.mirror != nil }
+
+// InputOccWord returns the occupancy bitmask word for input channel i.
+func (r *Router) InputOccWord(i int) uint64 { return r.words[i].occ }
+
+// InputRoutedWord returns the routed bitmask word for input channel i.
+func (r *Router) InputRoutedWord(i int) uint64 { return r.words[i].routed }
+
+// InputReadyWord returns the credit-ready bitmask word for input channel i.
+func (r *Router) InputReadyWord(i int) uint64 { return r.words[i].ready }
+
+// MirroredRoute returns the hoisted route mirror for input VC (i, v), for
+// cross-checking against the canonical VC fields.
+func (r *Router) MirroredRoute(i, v int) (*VC, int) {
+	m := &r.mirror[r.base[i]+int32(v)]
+	return m.route, int(m.port)
+}
+
+// InputsIdle reports whether every input VC is empty of committed flits —
+// the router's deactivation condition for the network's active-set sweep.
+// A router with buffered-but-blocked worms stays active; only truly empty
+// routers are skipped, so no credit-wakeup plumbing is needed.
+func (r *Router) InputsIdle() bool {
+	if r.mirror == nil {
+		r.initState()
+	}
+	return r.occCount == 0
+}
+
+// SkipIdle advances round-robin state by k cycles' worth of idle steps in
+// O(1). A Step with every input VC empty mutates nothing but vaRR (allocate
+// visits no VC and increments the cursor; arbitrate gathers zero requests,
+// leaving saRR and pickRR untouched), so k skipped idle cycles fold into a
+// single addition. The network calls this to catch a sleeping router up
+// before it re-enters the sweep, keeping results byte-identical to dense
+// stepping.
+func (r *Router) SkipIdle(k int64) {
+	r.vaRR += int(k)
 }
 
 // outputVC resolves a routing candidate to the concrete VC object.
@@ -149,84 +337,156 @@ func (r *Router) pickCandidate(cands []routing.PortVC) (routing.PortVC, bool) {
 // allocate performs virtual-channel allocation for every input VC whose
 // front flit is an unrouted header: the first candidate VC not owned by
 // another packet is claimed. Candidate order encodes policy preference
-// (adaptive first, escape last).
-func (r *Router) allocate(now int64) {
+// (adaptive first, escape last). Only occupied-and-unrouted VCs are
+// visited — occ &^ routed — in ascending bit order, which is exactly the
+// VC order the dense scan used, so arbitration outcomes are unchanged.
+//
+// Since allocate already touches every input's word triple, it folds in the
+// live (occupied ∧ routed ∧ ready) summary that arbitrate needs, sparing
+// arbitrate a second scan. The summary for input i is read after the input
+// has been processed: setRoute only mutates the words of the VC being
+// routed, which belongs to i, so the accumulated view equals the
+// post-allocation state arbitrate would recompute. Accumulation order does
+// not matter — lastI/lastW are consumed only when tot == 1, in which case a
+// single input holds the one live bit.
+func (r *Router) allocate(now int64) (live, lastW uint64, tot, lastI int) {
 	n := len(r.Inputs)
+	i := r.vaRR % n
 	for k := 0; k < n; k++ {
-		in := r.Inputs[(r.vaRR+k)%n]
-		if in == nil {
+		if i == n {
+			i = 0
+		}
+		w := r.words[i].occ &^ r.words[i].routed
+		if w == 0 {
+			if lw := r.words[i].occ & r.words[i].routed & r.words[i].ready; lw != 0 {
+				live |= lw
+				tot += bits.OnesCount64(lw)
+				lastI, lastW = i, lw
+			}
+			i++
 			continue
 		}
-		for _, vc := range in.VCs {
-			f, ok := vc.Front()
-			if !ok || !f.Head() || vc.Route != nil {
+		for w != 0 {
+			v := bits.TrailingZeros64(w)
+			w &= w - 1
+			flat := r.base[i] + int32(v)
+			vc := r.mirror[flat].vc
+			f := vc.buf[0] // occ bit set ⇒ committed flit present
+			if !f.Head() || f.Pkt.BeingRescued {
 				continue
 			}
-			if f.Pkt.BeingRescued {
-				continue
+			cands := r.candCache[flat]
+			if r.candPkt[flat] != f.Pkt {
+				cands = r.policy.Candidates(r.ID, f.Pkt)
+				r.candCache[flat] = cands
+				r.candPkt[flat] = f.Pkt
 			}
-			cands := r.policy.Candidates(r.ID, f.Pkt)
 			if pick, ok := r.pickCandidate(cands); ok {
 				out := r.outputVC(pick)
 				out.Owner = f.Pkt
-				vc.Route = out
-				vc.RoutePort = pick.Port
+				r.setRoute(vc, out, pick.Port)
 				if r.Obs != nil {
 					r.Obs.VCAllocated(now, r.ID, f.Pkt, out.Ch.ID, out.Index)
 				}
 				vc.stallNoted = false
 			} else if r.Obs != nil && !vc.stallNoted {
 				vc.stallNoted = true
-				r.Obs.VCStalled(now, r.ID, f.Pkt, in.ID, vc.Index)
+				r.Obs.VCStalled(now, r.ID, f.Pkt, r.Inputs[i].ID, vc.Index)
 			}
 		}
+		if lw := r.words[i].occ & r.words[i].routed & r.words[i].ready; lw != 0 {
+			live |= lw
+			tot += bits.OnesCount64(lw)
+			lastI, lastW = i, lw
+		}
+		i++
 	}
 	r.vaRR++
+	return
 }
 
 // arbitrate moves at most one flit per output physical channel and at most
-// one flit per input physical channel, round-robin fair across both.
-func (r *Router) arbitrate(now int64) {
-	for i := range r.moved {
-		r.moved[i] = false
+// one flit per input physical channel, round-robin fair across both. The
+// live/tot/lastI/lastW summary of the post-allocation words comes from
+// allocate's scan (see there).
+func (r *Router) arbitrate(now int64, live, lastW uint64, tot, lastI int) {
+	// Fast exit when no VC is occupied, routed and credit-ready: no output
+	// can have a requester, so no saRR counter would advance in the dense
+	// scan either. The requester count routes the single-worm case —
+	// dominant at light load — past the bucket machinery.
+	if live == 0 {
+		return
 	}
-	for o, out := range r.Outputs {
-		if out == nil || out.Stalled {
-			continue
+	if tot == 1 {
+		// One requester: it wins its output unopposed, and no other output
+		// has a bucket, so no other saRR counter would advance.
+		m := &r.mirror[r.base[lastI]+int32(bits.TrailingZeros64(lastW))]
+		o := m.port
+		if r.Outputs[o].Stalled {
+			return
 		}
-		// Gather requesting input VCs: routed onto this output, flit
-		// ready, downstream space, input channel still idle this cycle.
-		reqs := r.reqs[:0]
-		for i, in := range r.Inputs {
-			if in == nil || r.moved[i] {
-				continue
-			}
-			for _, vc := range in.VCs {
-				if vc.Route == nil || vc.RoutePort != o || vc.Len() == 0 {
-					continue
-				}
-				if !vc.Route.SpaceFor() {
-					continue
-				}
-				if f, _ := vc.Front(); f.Pkt.BeingRescued {
-					continue
-				}
-				reqs = append(reqs, vc)
-			}
-		}
-		r.reqs = reqs // keep any grown capacity for the next output/cycle
-		if len(reqs) == 0 {
-			continue
-		}
-		winner := reqs[r.saRR[o]%len(reqs)]
 		r.saRR[o]++
-		// Identify the winner's input channel to charge its bandwidth.
-		for i, in := range r.Inputs {
-			if in == winner.Ch {
-				r.moved[i] = true
-				break
+		target := m.vc.Route
+		target.Stage(m.vc.Dequeue(now))
+		return
+	}
+	// One pass over the live (occupied ∧ routed ∧ ready) bits buckets
+	// requesters by output port: flit present and downstream space, with
+	// the space predicate pre-computed by the credit updates, so worms
+	// blocked on a full target cost nothing here. The predicate is
+	// invariant across this cycle's moves — targets are distinct (exclusive
+	// VC ownership) and a move only flips the mover's own ready bit. No
+	// BeingRescued test is needed: Rescue.evacuate and the fault injector's
+	// worm drop both set the flag and strip the worm from every VC in the
+	// same call, so a committed flit of a rescued packet never exists when
+	// arbitration runs (the flag only matters to detection-level scans).
+	// Buckets hold packed codes (input index << 16 | flat VC index) rather
+	// than pointers, keeping the append loop free of GC write barriers.
+	var used uint32 // outputs with a non-empty bucket
+	for i := range r.words {
+		w := r.words[i].occ & r.words[i].routed & r.words[i].ready
+		for w != 0 {
+			v := bits.TrailingZeros64(w)
+			w &= w - 1
+			flat := r.base[i] + int32(v)
+			o := r.mirror[flat].port
+			r.reqBucket[o] = append(r.reqBucket[o], int32(i)<<16|flat)
+			used |= 1 << uint(o)
+		}
+	}
+	// Visit only bucketed outputs, ascending — the dense output order.
+	// Buckets are reset after use, so untouched outputs cost nothing.
+	var moved uint64 // input channels already charged this cycle
+	for used != 0 {
+		o := bits.TrailingZeros32(used)
+		used &= used - 1
+		reqs := r.reqBucket[o]
+		r.reqBucket[o] = reqs[:0]
+		if r.Outputs[o].Stalled {
+			continue
+		}
+		// Drop requesters whose input channel was charged by an earlier
+		// output — the cross-output dependency the dense scan applied at
+		// gather time. Bucket order is (input, vc) ascending, so the
+		// compacted list matches the dense request list exactly.
+		m := 0
+		for _, code := range reqs {
+			if moved>>uint(code>>16)&1 == 0 {
+				reqs[m] = code
+				m++
 			}
 		}
+		if m == 0 {
+			continue
+		}
+		k := 0
+		if m > 1 {
+			k = r.saRR[o] % m
+		}
+		code := reqs[k]
+		r.saRR[o]++
+		moved |= 1 << uint(code>>16) // charge the winner's input bandwidth
+		winner := r.mirror[code&0xffff].vc
 		// Capture the target before Dequeue, which clears Route when the
 		// tail flit departs.
 		target := winner.Route
@@ -238,17 +498,20 @@ func (r *Router) arbitrate(now int64) {
 // arbitration and link traversal. Staged arrivals are committed by the
 // network after every component has stepped.
 func (r *Router) Step(now int64) {
+	if r.mirror == nil {
+		r.initState()
+	}
 	if now < r.FrozenUntil {
 		return
 	}
 	if r.Prof == nil {
-		r.allocate(now)
-		r.arbitrate(now)
+		live, lastW, tot, lastI := r.allocate(now)
+		r.arbitrate(now, live, lastW, tot, lastI)
 		return
 	}
-	r.allocate(now)
+	live, lastW, tot, lastI := r.allocate(now)
 	r.Prof.MarkRouting()
-	r.arbitrate(now)
+	r.arbitrate(now, live, lastW, tot, lastI)
 	r.Prof.MarkArbitration()
 }
 
@@ -276,21 +539,24 @@ func (r *Router) RescuablePackets(now int64, timeout int64) []*message.Packet {
 // scanInputs collects distinct packets whose header fronts an input VC
 // matching pred. The result aliases a per-router scratch slice (valid until
 // the next scan); a worm spans few VCs, so linear dedup beats a map and
-// keeps the per-token-arrival scan allocation-free.
+// keeps the per-token-arrival scan allocation-free. Both predicates used by
+// the detection scans imply committed flits are present, so the walk
+// follows the occupancy bitmask instead of visiting every VC.
 func (r *Router) scanInputs(pred func(*VC) bool) []*message.Packet {
+	if r.mirror == nil {
+		r.initState()
+	}
 	out := r.scanBuf[:0]
-	for _, in := range r.Inputs {
-		if in == nil {
-			continue
-		}
-		for _, vc := range in.VCs {
+	for i := range r.Inputs {
+		w := r.words[i].occ
+		for w != 0 {
+			v := bits.TrailingZeros64(w)
+			w &= w - 1
+			vc := r.mirror[r.base[i]+int32(v)].vc
 			if !pred(vc) {
 				continue
 			}
-			f, ok := vc.Front()
-			if !ok {
-				continue
-			}
+			f := vc.buf[0]
 			if !f.Head() || f.Pkt.BeingRescued {
 				continue
 			}

@@ -9,15 +9,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE_FILE="${PERF_BASELINE:-$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)}"
-THRESHOLD_PCT="${PERF_THRESHOLD_PCT:-15}"
+# PERF_SMOKE_TOLERANCE overrides the regression gate (percent over baseline);
+# PERF_THRESHOLD_PCT is the older name, kept working.
+THRESHOLD_PCT="${PERF_SMOKE_TOLERANCE:-${PERF_THRESHOLD_PCT:-15}}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 fail() { echo "perf_smoke: FAIL: $*" >&2; exit 1; }
 
 [[ -f "$BASELINE_FILE" ]] || fail "baseline $BASELINE_FILE not found"
+# The baseline is the LAST entry of the newest BENCH file — that should be the
+# post-PR record at the default rate, not a pre-PR or low-rate entry. Echo its
+# label and note so a mislabeled or reordered artifact is visible in CI logs
+# instead of silently gating against the wrong number.
 BASE_NS="$(sed -n 's/.*"ns_per_op": \([0-9.]*\).*/\1/p' "$BASELINE_FILE" | tail -1)"
+BASE_LABEL="$(sed -n 's/.*"label": "\([^"]*\)".*/\1/p' "$BASELINE_FILE" | tail -1)"
+BASE_NOTE="$(sed -n 's/.*"note": "\([^"]*\)".*/\1/p' "$BASELINE_FILE" | tail -1)"
 [[ -n "$BASE_NS" ]] || fail "no ns_per_op in $BASELINE_FILE"
+echo "perf_smoke: baseline '$BASE_LABEL' (${BASE_NOTE:-no note}) from $BASELINE_FILE"
+case "$BASE_NOTE" in
+  *rate=0.01*|"") ;;
+  *) echo "perf_smoke: WARNING: baseline note '$BASE_NOTE' is not a rate=0.01 entry; comparison may be apples-to-oranges" >&2 ;;
+esac
 
 # Minimum of three runs: the minimum is the measurement least polluted by
 # scheduler preemption and frequency throttling, which only ever add time.
