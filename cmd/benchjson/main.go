@@ -154,12 +154,17 @@ func profiledRun(rate float64) (telemetry.Breakdown, error) {
 }
 
 // appendEntry reads the existing JSON array (if any), appends the entry, and
-// rewrites the file.
+// rewrites the file atomically: the new content lands under a temporary name
+// and is renamed over the target, so an interrupted run leaves either the
+// old artifact or the new one — never a torn file that downstream tooling
+// (perf_smoke.sh's min-of-N gate) would silently misread as fewer runs. A
+// file that exists but does not parse fails loudly for the same reason:
+// appending to a partial artifact would launder it back into a valid one.
 func appendEntry(path string, e Entry) error {
 	var entries []Entry
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &entries); err != nil {
-			return fmt.Errorf("%s exists but is not a JSON entry array: %w", path, err)
+			return fmt.Errorf("%s exists but is not a JSON entry array (partial artifact from an interrupted run?): %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
 		return err
@@ -169,5 +174,13 @@ func appendEntry(path string, e Entry) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

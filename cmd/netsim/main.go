@@ -23,6 +23,10 @@
 //
 //	netsim -scheme PR -rate 0.01 -fault-plan plan.json
 //
+// Counterexample replay (schedules produced by cmd/modelcheck):
+//
+//	netsim -replay counterexample-pr.json
+//
 // A drain phase that times out with undelivered messages still prints the
 // collected statistics but exits with status 2; invariant violations under
 // -check exit with status 3.
@@ -40,6 +44,7 @@ import (
 	"repro"
 	"repro/internal/check"
 	"repro/internal/fault"
+	"repro/internal/mc"
 	"repro/internal/netiface"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -86,11 +91,17 @@ func main() {
 		profileJSON   = flag.String("profile-json", "", "write the phase breakdown as JSON to this file (implies -profile)")
 		profileSample = flag.Int64("profile-sample", 1, "profile every Nth cycle (1 = every cycle)")
 
+		replayPath = flag.String("replay", "", "replay a model-checker counterexample schedule from this JSON file and verify it reproduces")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(telemetry.VersionString("netsim"))
+		return
+	}
+	if *replayPath != "" {
+		replay(*replayPath)
 		return
 	}
 
@@ -301,6 +312,34 @@ func main() {
 			cfg.MaxDrain, net.Table.Len())
 		os.Exit(2)
 	}
+}
+
+// replay loads a model-checker counterexample, drives its network down the
+// recorded schedule, and verifies the recorded violation reproduces. A
+// reproduced violation exits 0 (the counterexample is sound); a clean run or
+// a different violation exits 2 (the schedule no longer belongs to this
+// build's behavior).
+func replay(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	cx, err := mc.DecodeCounterexample(data)
+	fatal(err)
+	fmt.Printf("replay: %s %s, %d txns, %d scheduled choices, recorded %s at cycle %d\n",
+		cx.Cfg.Scheme, cx.Cfg.Pattern, len(cx.Txns), len(cx.Schedule),
+		cx.Violation.Kind, cx.Violation.Cycle)
+	v, err := mc.Replay(cx)
+	fatal(err)
+	if v == nil {
+		fmt.Fprintln(os.Stderr, "netsim: replay ran clean — the counterexample no longer reproduces")
+		os.Exit(2)
+	}
+	fmt.Printf("replay: observed %s at cycle %d: %s\n", v.Kind, v.Cycle, v.Detail)
+	if v.Kind != cx.Violation.Kind || v.Cycle != cx.Violation.Cycle {
+		fmt.Fprintf(os.Stderr, "netsim: replay diverged from the recorded violation (%s at cycle %d)\n",
+			cx.Violation.Kind, cx.Violation.Cycle)
+		os.Exit(2)
+	}
+	fmt.Println("replay: reproduced")
 }
 
 // parseRadix parses "8x8" or "4x4x4" into per-dimension radices.

@@ -10,18 +10,42 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/network"
 	"repro/internal/router"
 	"repro/internal/topology"
 )
 
-// VerifyKnots rebuilds the channel-wait-for graph from the network's raw
-// state and checks the detector's published verdict: every VC's Knotted flag
-// and the total deadlocked-resource count. It must run on a cycle boundary
-// immediately after a detector scan (the periodic schedule guarantees this
-// by mirroring the scan cadence); the flags describe scan-time state and go
-// stale as soon as the fabric moves.
-func (c *Checker) VerifyKnots(now int64) {
-	n := c.n
+// KnotRebuild is the result of an independent channel-wait-for-graph
+// analysis: which resources are blocked, which escape, and how many sit in
+// the knot. Vertices follow the detector's layout — VC vertices first
+// (channel ID × VCs-per-channel + index), then NI input queues, then NI
+// output queues. The model checker uses this as its ground-truth deadlock
+// oracle; VerifyKnots uses it to audit the detector's published flags.
+type KnotRebuild struct {
+	Blocked []bool
+	Escaped []bool
+	// LockedCount is the number of blocked resources with no escape path —
+	// the detector's deadlocked-resource count, independently derived.
+	LockedCount int
+
+	vcsPer int
+}
+
+// VCKnotted reports whether the rebuild places a VC inside the knot.
+func (k *KnotRebuild) VCKnotted(vc *router.VC) bool {
+	v := vc.Ch.ID*k.vcsPer + vc.Index
+	return k.Blocked[v] && !k.Escaped[v]
+}
+
+// Deadlocked reports whether any resource sits in a knot — a true
+// message-dependent deadlock exists at this cycle boundary.
+func (k *KnotRebuild) Deadlocked() bool { return k.LockedCount > 0 }
+
+// RebuildKnots re-derives the knot set from the network's raw state using an
+// implementation that shares no scan code with internal/deadlock. It must
+// run on a cycle boundary; the answer describes this instant and goes stale
+// as soon as the fabric moves.
+func RebuildKnots(n *network.Network) *KnotRebuild {
 	vcsPer := n.VCsPerChannel()
 	queues := 1
 	if len(n.NIs) > 0 {
@@ -174,20 +198,30 @@ func (c *Checker) VerifyKnots(now int64) {
 			lockedCount++
 		}
 	}
+	return &KnotRebuild{Blocked: blocked, Escaped: escaped, LockedCount: lockedCount, vcsPer: vcsPer}
+}
 
-	// Compare against the detector's published verdict.
+// VerifyKnots rebuilds the channel-wait-for graph from the network's raw
+// state and checks the detector's published verdict: every VC's Knotted flag
+// and the total deadlocked-resource count. It must run on a cycle boundary
+// immediately after a detector scan (the periodic schedule guarantees this
+// by mirroring the scan cadence); the flags describe scan-time state and go
+// stale as soon as the fabric moves.
+func (c *Checker) VerifyKnots(now int64) {
+	n := c.n
+	k := RebuildKnots(n)
 	for _, ch := range n.Channels {
 		for _, vc := range ch.VCs {
-			want := blocked[vcVertex(vc)] && !escaped[vcVertex(vc)]
+			want := k.VCKnotted(vc)
 			if vc.Knotted != want {
 				c.report(now, "knot-soundness",
 					fmt.Sprintf("%v: detector says knotted=%v, independent rebuild says %v", vc, vc.Knotted, want))
 			}
 		}
 	}
-	if n.Detector != nil && n.Detector.LastDeadlocked != lockedCount {
+	if n.Detector != nil && n.Detector.LastDeadlocked != k.LockedCount {
 		c.report(now, "knot-count",
 			fmt.Sprintf("detector reports %d deadlocked resources, independent rebuild finds %d",
-				n.Detector.LastDeadlocked, lockedCount))
+				n.Detector.LastDeadlocked, k.LockedCount))
 	}
 }

@@ -1,0 +1,71 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// TestRestoredNetworkPassesCheckNow is the active-set statement for
+// snapshot/restore: a network restored mid-run must satisfy every
+// mask/mirror/credit invariant immediately — before stepping a single cycle
+// — because Restore rebuilds all derived acceleration state (occupancy
+// words, route mirrors, occupancy counters, active sets) from the canonical
+// fields it just wrote. The run then continues to completion under the
+// periodic sweep and the CWG knot audit, both of which must stay clean.
+func TestRestoredNetworkPassesCheckNow(t *testing.T) {
+	cases := []struct {
+		kind schemes.Kind
+		pat  *protocol.Pattern
+	}{
+		{schemes.SA, protocol.PAT100},
+		{schemes.DR, protocol.PAT280},
+		{schemes.AB, protocol.PAT280},
+		{schemes.PR, protocol.PAT721},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := smallCfg(tc.kind, tc.pat, 4, 0.008)
+			cfg.Warmup = 300
+			cfg.Measure = 1200
+			cfg.MaxDrain = 8000
+			n := mustNet(t, cfg)
+
+			// Reach a mid-run state with real in-flight traffic, snapshot it,
+			// then let the live run wander off before rewinding.
+			var snap *network.Snapshot
+			for cycle := int64(0); cycle < cfg.Warmup+cfg.Measure; cycle++ {
+				n.RunCycles(1)
+				if cycle >= 400 && n.Table.Len() > 0 {
+					snap = n.Snapshot()
+					break
+				}
+			}
+			if snap == nil {
+				t.Fatal("no in-flight state to snapshot; raise the rate")
+			}
+			n.RunCycles(250)
+			n.Restore(snap)
+
+			c := check.Attach(n, check.Options{Interval: 1})
+			c.CheckNow(n.Clock.Now())
+			if err := c.Err(); err != nil {
+				t.Fatalf("restored network fails invariants before stepping: %v", err)
+			}
+
+			n.Run()
+			if err := c.Err(); err != nil {
+				t.Fatalf("restored network fails invariants while running: %v", err)
+			}
+			if !n.Quiescent() {
+				t.Fatalf("restored run did not drain: %d txns in flight", n.Table.Len())
+			}
+			if c.Checks() == 0 {
+				t.Fatal("checker never ran")
+			}
+		})
+	}
+}

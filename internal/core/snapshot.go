@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/topology"
+)
+
+// Snapshot/restore support for the model-checking explorer. The rescue
+// engine is a stable-identity object restored in place; message pointers
+// cross the boundary through caller-supplied remap functions, NI pointers
+// are stable and stored directly.
+
+// FrameState is one rescue-chain frame: the serviced endpoint (-1 for a
+// router-level capture) and its subordinates awaiting lane transfer.
+type FrameState struct {
+	Endpoint int
+	Pending  []*message.Message
+}
+
+// RescueState is the complete mutable state of the recovery engine.
+type RescueState struct {
+	Phase         Phase
+	Stack         []FrameState
+	CaptureRouter topology.NodeID
+	TransferMsg   *message.Message
+	Timer         int64
+	ReturnFrom    topology.NodeID
+	ServiceNI     *netiface.NI
+
+	Completed     int64
+	MaxDepth      int
+	LaneTransfers int64
+	Preemptions   int64
+}
+
+// CaptureState snapshots the rescue engine. remapMsg translates message
+// pointers into the snapshot's object graph and must be nil-preserving.
+func (r *Rescue) CaptureState(remapMsg func(*message.Message) *message.Message) RescueState {
+	s := RescueState{
+		Phase:         r.phase,
+		CaptureRouter: r.captureRouter,
+		TransferMsg:   remapMsg(r.transferMsg),
+		Timer:         r.timer,
+		ReturnFrom:    r.returnFrom,
+		ServiceNI:     r.serviceNI,
+		Completed:     r.Completed,
+		MaxDepth:      r.MaxDepth,
+		LaneTransfers: r.LaneTransfers,
+		Preemptions:   r.Preemptions,
+	}
+	for i := range r.stack {
+		f := FrameState{Endpoint: r.stack[i].endpoint}
+		for _, m := range r.stack[i].pending {
+			f.Pending = append(f.Pending, remapMsg(m))
+		}
+		s.Stack = append(s.Stack, f)
+	}
+	return s
+}
+
+// RestoreState writes a captured state back into the engine.
+func (r *Rescue) RestoreState(s RescueState, remapMsg func(*message.Message) *message.Message) {
+	r.phase = s.Phase
+	r.stack = nil
+	for i := range s.Stack {
+		f := frame{endpoint: s.Stack[i].Endpoint}
+		for _, m := range s.Stack[i].Pending {
+			f.pending = append(f.pending, remapMsg(m))
+		}
+		r.stack = append(r.stack, f)
+	}
+	r.captureRouter = s.CaptureRouter
+	r.transferMsg = remapMsg(s.TransferMsg)
+	r.timer = s.Timer
+	r.returnFrom = s.ReturnFrom
+	r.serviceNI = s.ServiceNI
+	r.Completed = s.Completed
+	r.MaxDepth = s.MaxDepth
+	r.LaneTransfers = s.LaneTransfers
+	r.Preemptions = s.Preemptions
+}

@@ -1,0 +1,32 @@
+package deadlock
+
+// Snapshot/restore support for the model-checking explorer. The detector's
+// only state that influences future behavior is prevLock (fresh-knot
+// accounting compares each scan's locked set against it) and the counters;
+// the vertex layout is derived from the immutable host shape.
+
+// DetectorState is the detector's mutable state.
+type DetectorState struct {
+	PrevLock       []bool
+	Scans          int64
+	Deadlocks      int64
+	LastDeadlocked int
+}
+
+// CaptureState snapshots the detector.
+func (d *Detector) CaptureState() DetectorState {
+	return DetectorState{
+		PrevLock:       append([]bool(nil), d.prevLock...),
+		Scans:          d.Scans,
+		Deadlocks:      d.Deadlocks,
+		LastDeadlocked: d.LastDeadlocked,
+	}
+}
+
+// RestoreState writes a captured state back.
+func (d *Detector) RestoreState(s DetectorState) {
+	copy(d.prevLock, s.PrevLock)
+	d.Scans = s.Scans
+	d.Deadlocks = s.Deadlocks
+	d.LastDeadlocked = s.LastDeadlocked
+}

@@ -1,0 +1,91 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/netiface"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// script is the explorer-controlled finite traffic source. It draws no
+// randomness: the explorer decides release cycles (the released gates) and
+// Generate injects a released transaction at its requester's next
+// generation slot. Everything else about the transaction — template,
+// endpoints, third parties — is fixed by the spec, so a (config, script,
+// schedule) triple determines a run completely.
+type script struct {
+	specs  []TxnSpec
+	engine *protocol.Engine
+	table  *protocol.Table
+
+	released []bool
+	injected []bool
+}
+
+// factory adapts the script to network.NewWithSource.
+func (s *script) factory() func(e *protocol.Engine, t *protocol.Table, rng *sim.RNG, endpoints int) traffic.Source {
+	return func(e *protocol.Engine, t *protocol.Table, _ *sim.RNG, _ int) traffic.Source {
+		s.engine = e
+		s.table = t
+		s.released = make([]bool, len(s.specs))
+		s.injected = make([]bool, len(s.specs))
+		return s
+	}
+}
+
+// Generate implements traffic.Source: released, not-yet-injected specs for
+// this endpoint enter the source queue.
+func (s *script) Generate(now int64, endpoint int, ni *netiface.NI) {
+	for i := range s.specs {
+		sp := &s.specs[i]
+		if !s.released[i] || s.injected[i] || sp.Requester != endpoint {
+			continue
+		}
+		tmpl := s.engine.Pattern.Templates[sp.Template]
+		txn := s.engine.NewTransaction(tmpl, sp.Requester, sp.Home, sp.Thirds, now)
+		s.table.Add(txn)
+		ni.EnqueueSource(s.engine.FirstMessage(txn, now))
+		s.injected[i] = true
+	}
+}
+
+// TxnCompleted implements traffic.Source.
+func (s *script) TxnCompleted(int) {}
+
+// Active implements traffic.Source.
+func (s *script) Active(int64) bool { return !s.done() }
+
+func (s *script) done() bool {
+	for _, inj := range s.injected {
+		if !inj {
+			return false
+		}
+	}
+	return true
+}
+
+// scriptState is the source's snapshot payload.
+type scriptState struct {
+	released []bool
+	injected []bool
+}
+
+// CaptureSourceState implements network.SnapshottableSource.
+func (s *script) CaptureSourceState() any {
+	return scriptState{
+		released: append([]bool(nil), s.released...),
+		injected: append([]bool(nil), s.injected...),
+	}
+}
+
+// RestoreSourceState implements network.SnapshottableSource.
+func (s *script) RestoreSourceState(state any) {
+	st, ok := state.(scriptState)
+	if !ok {
+		panic(fmt.Sprintf("mc: foreign source state %T", state))
+	}
+	copy(s.released, st.released)
+	copy(s.injected, st.injected)
+}

@@ -1,0 +1,155 @@
+package netiface
+
+import (
+	"repro/internal/message"
+	"repro/internal/router"
+)
+
+// Snapshot/restore support for the model-checking explorer. An NI, like a
+// router, is a stable-identity object: a snapshot captures its canonical
+// mutable state and a restore writes it back into the same live instance, so
+// the network's hooks and wake closures stay wired. Message and packet
+// pointers are translated through caller-supplied remap functions into (or
+// out of) the snapshot's cloned object graph; VC pointers are stable and
+// stored directly.
+
+// OutEntryState is one output-queue entry: the message, its packet, and the
+// injection VC the head has claimed (nil before allocation).
+type OutEntryState struct {
+	Msg *message.Message
+	Pkt *message.Packet
+	VC  *router.VC
+}
+
+// PendingGenState is one MSHR-generated subordinate awaiting output space.
+type PendingGenState struct {
+	Msg     *message.Message
+	ReadyAt int64
+}
+
+// NIState is the complete canonical state of one network interface.
+type NIState struct {
+	SourceQ    []*message.Message
+	OutQ       [][]OutEntryState
+	OutRes     []int
+	InQ        [][]*message.Message
+	InAlloc    []int
+	PendingGen []PendingGenState
+
+	CtrlBusyUntil  int64
+	CtrlMsg        *message.Message
+	CtrlFromRescue bool
+	RescueReq      *message.Message
+
+	Streak       []int64
+	InFullNoted  []bool
+	OutFullNoted []bool
+
+	CtrlRR, InjRR, EjRR int
+
+	WantRescue bool
+	StallUntil int64
+
+	ServicedCount, DeflectCount int64
+}
+
+// CaptureState snapshots the NI. remapMsg/remapPkt translate live pointers
+// into the snapshot's object graph; both must be nil-preserving.
+func (n *NI) CaptureState(remapMsg func(*message.Message) *message.Message, remapPkt func(*message.Packet) *message.Packet) NIState {
+	s := NIState{
+		OutRes:         append([]int(nil), n.outRes...),
+		InAlloc:        append([]int(nil), n.inAlloc...),
+		CtrlBusyUntil:  n.ctrlBusyUntil,
+		CtrlMsg:        remapMsg(n.ctrlMsg),
+		CtrlFromRescue: n.ctrlFromRescue,
+		RescueReq:      remapMsg(n.rescueReq),
+		Streak:         append([]int64(nil), n.streak...),
+		InFullNoted:    append([]bool(nil), n.inFullNoted...),
+		OutFullNoted:   append([]bool(nil), n.outFullNoted...),
+		CtrlRR:         n.ctrlRR,
+		InjRR:          n.injRR,
+		EjRR:           n.ejRR,
+		WantRescue:     n.WantRescue,
+		StallUntil:     n.StallUntil,
+		ServicedCount:  n.ServicedCount,
+		DeflectCount:   n.DeflectCount,
+	}
+	for _, m := range n.sourceQ {
+		s.SourceQ = append(s.SourceQ, remapMsg(m))
+	}
+	s.OutQ = make([][]OutEntryState, len(n.outQ))
+	for q := range n.outQ {
+		for _, e := range n.outQ[q] {
+			s.OutQ[q] = append(s.OutQ[q], OutEntryState{
+				Msg: remapMsg(e.msg), Pkt: remapPkt(e.pkt), VC: e.vc,
+			})
+		}
+	}
+	s.InQ = make([][]*message.Message, len(n.inQ))
+	for q := range n.inQ {
+		for _, m := range n.inQ[q] {
+			s.InQ[q] = append(s.InQ[q], remapMsg(m))
+		}
+	}
+	for _, e := range n.pendingGen {
+		s.PendingGen = append(s.PendingGen, PendingGenState{Msg: remapMsg(e.msg), ReadyAt: e.readyAt})
+	}
+	return s
+}
+
+// RestoreState writes a captured state back, translating pointers out of the
+// snapshot's object graph via remapMsg/remapPkt. Queue backing arrays are
+// reused where capacity allows, matching the NI's own allocation discipline.
+func (n *NI) RestoreState(s NIState, remapMsg func(*message.Message) *message.Message, remapPkt func(*message.Packet) *message.Packet) {
+	n.sourceQ = n.sourceQ[:0]
+	for _, m := range s.SourceQ {
+		n.sourceQ = append(n.sourceQ, remapMsg(m))
+	}
+	for q := range n.outQ {
+		n.outQ[q] = n.outQ[q][:0]
+		for _, e := range s.OutQ[q] {
+			n.outQ[q] = append(n.outQ[q], outEntry{
+				msg: remapMsg(e.Msg), pkt: remapPkt(e.Pkt), vc: e.VC,
+			})
+		}
+	}
+	copy(n.outRes, s.OutRes)
+	for q := range n.inQ {
+		n.inQ[q] = n.inQ[q][:0]
+		for _, m := range s.InQ[q] {
+			n.inQ[q] = append(n.inQ[q], remapMsg(m))
+		}
+	}
+	copy(n.inAlloc, s.InAlloc)
+	n.pendingGen = n.pendingGen[:0]
+	for _, e := range s.PendingGen {
+		n.pendingGen = append(n.pendingGen, pendingEntry{msg: remapMsg(e.Msg), readyAt: e.ReadyAt})
+	}
+	n.ctrlBusyUntil = s.CtrlBusyUntil
+	n.ctrlMsg = remapMsg(s.CtrlMsg)
+	n.ctrlFromRescue = s.CtrlFromRescue
+	n.rescueReq = remapMsg(s.RescueReq)
+	copy(n.streak, s.Streak)
+	copy(n.inFullNoted, s.InFullNoted)
+	copy(n.outFullNoted, s.OutFullNoted)
+	n.ctrlRR = s.CtrlRR
+	n.injRR = s.InjRR
+	n.ejRR = s.EjRR
+	n.WantRescue = s.WantRescue
+	n.StallUntil = s.StallUntil
+	n.ServicedCount = s.ServicedCount
+	n.DeflectCount = s.DeflectCount
+}
+
+// RotateArb advances the NI's round-robin cursors by k — the explorer's
+// choice-point lever for endpoint scheduling order (which ejection VC drains,
+// which queue the controller serves, which head injects). It touches no
+// canonical state; k=0 is the identity.
+func (n *NI) RotateArb(k int) {
+	if k == 0 {
+		return
+	}
+	n.ejRR += k
+	n.ctrlRR += k
+	n.injRR += k
+}

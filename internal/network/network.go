@@ -127,6 +127,13 @@ type Network struct {
 	// accounting stays exact.
 	skipAhead  bool
 	forceDense bool
+
+	// rescueDefer suppresses the recovery engine's step for that many
+	// upcoming cycles. The model checker sets it (via DeferRescue) to
+	// branch on recovery scheduling: delaying the token walk or capture by
+	// a cycle explores detection/recovery interleavings the deterministic
+	// schedule would never produce on its own.
+	rescueDefer int64
 }
 
 // New builds a network with the built-in synthetic uniform-random source at
@@ -656,7 +663,7 @@ func (n *Network) Step() {
 		n.generate(now)
 		if maskEmpty(n.activeNIW) {
 			if n.Rescue != nil {
-				n.Rescue.Step(now)
+				n.stepRescue(now)
 			}
 			if n.sampler != nil {
 				n.sampler.Tick(now)
@@ -717,7 +724,7 @@ func (n *Network) stepActive(now int64, gen bool) {
 		}
 	}
 	if n.Rescue != nil {
-		n.Rescue.Step(now)
+		n.stepRescue(now)
 	}
 	// Commit only the channels that staged flits this cycle; committed
 	// flits become visible next cycle, so wake each consumer. Cross-channel
@@ -787,7 +794,7 @@ func (n *Network) stepDense() {
 		}
 	}
 	if n.Rescue != nil {
-		n.Rescue.Step(now)
+		n.stepRescue(now)
 	}
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseRescue)

@@ -1,0 +1,136 @@
+package network
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+// runToEnd steps the network through its remaining phases exactly the way
+// Run does, so a restored network and an uninterrupted one traverse the same
+// loop.
+func runToEnd(n *Network) {
+	for !n.Clock.Done() {
+		n.Step()
+		if n.Clock.Phase() == sim.PhaseDrain && n.Quiescent() {
+			break
+		}
+	}
+}
+
+// TestSnapshotRoundTrip snapshots each scheme mid-run at randomized cycles,
+// finishes the run, then restores and re-runs the tail — twice, proving the
+// snapshot survives repeated restores — and requires the full end-state
+// (every VC, NI queue, transaction, RNG stream, and statistic) to be
+// identical to the uninterrupted run's.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind schemes.Kind
+		pat  *protocol.Pattern
+	}{
+		{schemes.SA, protocol.PAT100},
+		{schemes.DR, protocol.PAT280},
+		{schemes.AB, protocol.PAT280},
+		{schemes.PR, protocol.PAT100},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := smallConfig(tc.kind, tc.pat, 4, 0.004)
+			cfg.Warmup = 200
+			cfg.Measure = 1200
+			cfg.MaxDrain = 6000
+			sawLive := false
+			for trial := 0; trial < 3; trial++ {
+				snapCycle := int64(50 + rng.Intn(int(cfg.Warmup+cfg.Measure-100)))
+				n := mustNet(t, cfg)
+				n.RunCycles(snapCycle)
+				snap := n.Snapshot()
+				if len(snap.Txns) > 0 {
+					sawLive = true
+				}
+				runToEnd(n)
+				want := n.Snapshot()
+				wantDelivered := n.Stats.DeliveredMsgs
+
+				for pass := 0; pass < 2; pass++ {
+					n.Restore(snap)
+					if got := n.Clock.Now(); got != snapCycle {
+						t.Fatalf("restore set cycle %d, want %d", got, snapCycle)
+					}
+					runToEnd(n)
+					got := n.Snapshot()
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d pass %d: restored run diverged from uninterrupted run (snap at cycle %d): delivered %d vs %d, end cycle %d vs %d",
+							trial, pass, snapCycle, n.Stats.DeliveredMsgs, wantDelivered,
+							got.ClockNow, want.ClockNow)
+					}
+				}
+			}
+			if !sawLive {
+				t.Fatal("every snapshot was quiescent; the round trip proved nothing — raise the rate")
+			}
+		})
+	}
+}
+
+// TestSnapshotIsSideEffectFree runs two identical networks, snapshotting one
+// of them repeatedly mid-run, and requires both to finish with identical
+// statistics: capturing state must not perturb the captured run.
+func TestSnapshotIsSideEffectFree(t *testing.T) {
+	cfg := smallConfig(schemes.PR, protocol.PAT100, 4, 0.004)
+	cfg.Warmup = 200
+	cfg.Measure = 1000
+	cfg.MaxDrain = 6000
+
+	plain := mustNet(t, cfg)
+	plain.Run()
+
+	snapped := mustNet(t, cfg)
+	for !snapped.Clock.Done() {
+		if now := snapped.Clock.Now(); now%97 == 0 {
+			_ = snapped.Snapshot()
+		}
+		snapped.Step()
+		if snapped.Clock.Phase() == sim.PhaseDrain && snapped.Quiescent() {
+			break
+		}
+	}
+
+	if plain.Stats.DeliveredMsgs != snapped.Stats.DeliveredMsgs ||
+		plain.Stats.DeliveredFlits != snapped.Stats.DeliveredFlits ||
+		plain.Clock.Now() != snapped.Clock.Now() {
+		t.Fatalf("snapshotting perturbed the run: delivered %d/%d flits %d/%d cycle %d/%d",
+			plain.Stats.DeliveredMsgs, snapped.Stats.DeliveredMsgs,
+			plain.Stats.DeliveredFlits, snapped.Stats.DeliveredFlits,
+			plain.Clock.Now(), snapped.Clock.Now())
+	}
+}
+
+// TestSnapshotImmutableAcrossRestore restores a snapshot, mutates the
+// restored run far past the capture point, and verifies a second restore
+// still reproduces the original state — the restored run must never alias
+// the snapshot's payload objects.
+func TestSnapshotImmutableAcrossRestore(t *testing.T) {
+	cfg := smallConfig(schemes.DR, protocol.PAT280, 4, 0.004)
+	cfg.Warmup = 200
+	cfg.Measure = 800
+	cfg.MaxDrain = 6000
+	n := mustNet(t, cfg)
+	n.RunCycles(300)
+	snap := n.Snapshot()
+
+	n.Restore(snap)
+	first := n.Snapshot()
+	n.RunCycles(400) // mutate the restored run's live objects
+
+	n.Restore(snap)
+	second := n.Snapshot()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("snapshot state changed after a restored run mutated its clones")
+	}
+}

@@ -1,0 +1,24 @@
+package protocol
+
+import "repro/internal/message"
+
+// Snapshot accessors for the model-checking explorer. The engine's only
+// state beyond its immutable pattern/lengths is the transaction ID counter
+// and the free list; the free list holds no observable state (NewTransaction
+// fully resets recycled objects), so a restore only needs the counter.
+
+// NextTxnID returns the last transaction ID the engine handed out.
+func (e *Engine) NextTxnID() message.TxnID { return e.nextTxn }
+
+// SetNextTxnID rewinds (or advances) the engine's ID counter so the next
+// NewTransaction call returns id+1. Restoring a snapshot uses this to keep
+// post-restore transaction IDs identical to the original run's.
+func (e *Engine) SetNextTxnID(id message.TxnID) { e.nextTxn = id }
+
+// Reset empties the table; a network restore repopulates it from snapshot
+// clones.
+func (t *Table) Reset() {
+	for id := range t.txns {
+		delete(t.txns, id)
+	}
+}

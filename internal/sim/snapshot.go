@@ -1,0 +1,19 @@
+package sim
+
+// Snapshot/restore accessors used by the model-checking explorer to save and
+// rewind the deterministic kernel state. Both types are plain value state, so
+// capturing them is a copy and restoring is an assignment; exposing that
+// explicitly (instead of reaching into fields) keeps the explorer honest
+// about exactly which kernel state participates in a snapshot.
+
+// State returns the generator's internal xoshiro256** state.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// returned by State, resuming the stream at exactly that point.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
+// SetNow rewinds (or advances) the clock to an absolute cycle. Phase
+// boundaries are derived from the configured warmup/measure/drain lengths,
+// so no other clock state needs to move with it.
+func (c *Clock) SetNow(cycle int64) { c.cycle = cycle }

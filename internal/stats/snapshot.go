@@ -1,0 +1,28 @@
+package stats
+
+// Snapshot/restore support for the model-checking explorer. The collector is
+// value state except for the histogram's bucket slice, which must be cloned
+// so a snapshot stays immutable while the live run keeps accumulating.
+
+// Clone returns an independent deep copy of the histogram.
+func (h *LatencyHist) Clone() LatencyHist {
+	return LatencyHist{
+		counts: append([]int64(nil), h.counts...),
+		total:  h.total,
+		max:    h.max,
+	}
+}
+
+// CaptureState returns an independent copy of the collector's state.
+func (c *Collector) CaptureState() Collector {
+	cp := *c
+	cp.Latencies = c.Latencies.Clone()
+	return cp
+}
+
+// RestoreState overwrites the collector with a captured copy. The snapshot
+// is re-cloned so it can be restored any number of times.
+func (c *Collector) RestoreState(s Collector) {
+	*c = s
+	c.Latencies = s.Latencies.Clone()
+}

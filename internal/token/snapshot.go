@@ -1,0 +1,39 @@
+package token
+
+import "repro/internal/topology"
+
+// Snapshot/restore support for the model-checking explorer. The manager is
+// pure value state, so a snapshot is a field copy.
+
+// ManagerState is the complete mutable state of the token manager.
+type ManagerState struct {
+	Pos        topology.NodeID
+	Held       bool
+	Ctr        int
+	Lost       bool
+	Epoch      uint64
+	LostCycles int64
+
+	Captures, Releases, Losses, Regenerations int64
+	OutageCycles, Resurfaces, StaleDiscards   int64
+}
+
+// CaptureState snapshots the manager.
+func (m *Manager) CaptureState() ManagerState {
+	return ManagerState{
+		Pos: m.pos, Held: m.held, Ctr: m.ctr,
+		Lost: m.lost, Epoch: m.epoch, LostCycles: m.lostCycles,
+		Captures: m.Captures, Releases: m.Releases, Losses: m.Losses,
+		Regenerations: m.Regenerations, OutageCycles: m.OutageCycles,
+		Resurfaces: m.Resurfaces, StaleDiscards: m.StaleDiscards,
+	}
+}
+
+// RestoreState writes a captured state back.
+func (m *Manager) RestoreState(s ManagerState) {
+	m.pos, m.held, m.ctr = s.Pos, s.Held, s.Ctr
+	m.lost, m.epoch, m.lostCycles = s.Lost, s.Epoch, s.LostCycles
+	m.Captures, m.Releases, m.Losses = s.Captures, s.Releases, s.Losses
+	m.Regenerations, m.OutageCycles = s.Regenerations, s.OutageCycles
+	m.Resurfaces, m.StaleDiscards = s.Resurfaces, s.StaleDiscards
+}

@@ -1,0 +1,46 @@
+package traffic
+
+import "fmt"
+
+// Snapshot/restore support for the model-checking explorer. Sources carry
+// run-specific state (per-endpoint RNG streams, outstanding MSHR counts)
+// that must rewind with the rest of the network; the network snapshot
+// orchestrator captures any source implementing the two methods below
+// (custom finite sources implement the same pair).
+
+// SyntheticState is the synthetic source's mutable state.
+type SyntheticState struct {
+	Generated   int64
+	Throttled   int64
+	Outstanding []int
+	RNGStates   [][4]uint64
+}
+
+// CaptureSourceState snapshots the source, including every per-endpoint RNG
+// stream so post-restore generation replays identically.
+func (s *Synthetic) CaptureSourceState() any {
+	st := SyntheticState{
+		Generated:   s.Generated,
+		Throttled:   s.Throttled,
+		Outstanding: append([]int(nil), s.outstanding...),
+		RNGStates:   make([][4]uint64, len(s.rngs)),
+	}
+	for i, r := range s.rngs {
+		st.RNGStates[i] = r.State()
+	}
+	return st
+}
+
+// RestoreSourceState writes a captured state back.
+func (s *Synthetic) RestoreSourceState(state any) {
+	st, ok := state.(SyntheticState)
+	if !ok {
+		panic(fmt.Sprintf("traffic: foreign source state %T", state))
+	}
+	s.Generated = st.Generated
+	s.Throttled = st.Throttled
+	copy(s.outstanding, st.Outstanding)
+	for i, r := range s.rngs {
+		r.SetState(st.RNGStates[i])
+	}
+}

@@ -34,12 +34,22 @@ esac
 
 # Minimum of three runs: the minimum is the measurement least polluted by
 # scheduler preemption and frequency throttling, which only ever add time.
+# The min-of-N lives in benchjson itself (-runs): one invocation, one entry.
+# The old shell loop appended N single-run entries and took the smallest
+# ns_per_op found in the file, so an interrupted loop (CI timeout, OOM kill)
+# left a partial artifact that silently gated against fewer runs than
+# requested. Now an interruption leaves no artifact at all (benchjson writes
+# atomically), and anything other than exactly one measurement fails loudly.
 RUNS="${PERF_RUNS:-3}"
-for _ in $(seq 1 "$RUNS"); do
-  go run ./cmd/benchjson -label perf-smoke -o "$TMP/bench.json" >/dev/null
-done
-CUR_NS="$(sed -n 's/.*"ns_per_op": \([0-9.]*\).*/\1/p' "$TMP/bench.json" | sort -g | head -1)"
+go run ./cmd/benchjson -label perf-smoke -runs "$RUNS" -o "$TMP/bench.json" >/dev/null
+ENTRIES="$(grep -c '"ns_per_op"' "$TMP/bench.json" 2>/dev/null || true)"
+[[ "$ENTRIES" == "1" ]] || fail "expected exactly 1 measurement in $TMP/bench.json, found ${ENTRIES:-0} (partial or stale artifact)"
+CUR_NS="$(sed -n 's/.*"ns_per_op": \([0-9.]*\).*/\1/p' "$TMP/bench.json")"
 [[ -n "$CUR_NS" ]] || fail "benchjson produced no measurement"
+case "$(sed -n 's/.*"note": "\([^"]*\)".*/\1/p' "$TMP/bench.json")" in
+  *"min-of-$RUNS"*) ;;
+  *) fail "measurement note does not record min-of-$RUNS; benchjson -runs disagreement" ;;
+esac
 
 # Integer percent of baseline; awk does the float math portably.
 PCT="$(awk -v c="$CUR_NS" -v b="$BASE_NS" 'BEGIN { printf "%.1f", 100 * c / b }')"
