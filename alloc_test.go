@@ -33,6 +33,42 @@ func TestStepZeroAllocs(t *testing.T) {
 	}
 	n.RunCycles(4000) // reach steady occupancy and saturate pools
 
+	measureSteadyState(t, n)
+}
+
+// TestStepZeroAllocsProbeIdle re-pins the zero-alloc budget with the in-band
+// probe detector attached but idle: at this load endpoints never cross the
+// local-blocking threshold, so no probe launches, and an idle engine must
+// cost the hot path nothing — its Step is gated out entirely while no probes
+// are in flight.
+func TestStepZeroAllocsProbeIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping allocation measurement in -short mode")
+	}
+	cfg := network.DefaultConfig()
+	cfg.Scheme = schemes.PR
+	cfg.Pattern = protocol.PAT271
+	cfg.Rate = 0.01
+	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
+	cfg.CWGInterval = 0
+	cfg.Detector = network.DetectorProbe
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.RunCycles(4000) // reach steady occupancy and saturate pools
+	if n.Probe == nil {
+		t.Fatal("probe detector configured but engine not attached")
+	}
+	if !n.Probe.Idle() {
+		t.Fatalf("probe engine not idle at this load (launched=%d in-flight=%d); the zero-alloc claim needs the idle path",
+			n.Probe.Launched, n.Probe.InFlight())
+	}
+	measureSteadyState(t, n)
+}
+
+func measureSteadyState(t *testing.T, n *network.Network) {
+	t.Helper()
 	const cycles = 2000
 	avg := testing.AllocsPerRun(cycles, func() { n.Step() })
 	// Allow a vanishing residue (< 1 alloc per 100 cycles) for rare internal

@@ -44,25 +44,27 @@ type Entry struct {
 // benchConfig is the fixed measurement point: PR scheme at the given
 // injection rate (0.01 is the historical default), pinned inside the warmup
 // phase so every Step exercises the same steady-state path.
-func benchConfig(rate float64) network.Config {
+func benchConfig(rate float64, detector string) network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Scheme = schemes.PR
 	cfg.Pattern = protocol.PAT271
 	cfg.Rate = rate
 	cfg.Warmup, cfg.Measure, cfg.MaxDrain = 1<<30, 1, 0 // stay in warmup
 	cfg.CWGInterval = 0
+	cfg.Detector = detector
 	return cfg
 }
 
 func main() {
 	var (
-		out     = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
-		label   = flag.String("label", "current", "label for this measurement")
-		rate    = flag.Float64("rate", 0.01, "injection rate of the measurement point")
-		runs    = flag.Int("runs", 1, "benchmark repetitions; the minimum ns/op is recorded (least scheduler-polluted)")
-		dense   = flag.Bool("dense", false, "force dense stepping (disable the active-set sweep and skip-ahead)")
-		profile = flag.Bool("profile", false, "also run the cycle profiler and record the phase breakdown")
-		version = flag.Bool("version", false, "print version and exit")
+		out      = flag.String("o", "BENCH_PR2.json", "JSON file to append the measurement to")
+		label    = flag.String("label", "current", "label for this measurement")
+		rate     = flag.Float64("rate", 0.01, "injection rate of the measurement point")
+		runs     = flag.Int("runs", 1, "benchmark repetitions; the minimum ns/op is recorded (least scheduler-polluted)")
+		dense    = flag.Bool("dense", false, "force dense stepping (disable the active-set sweep and skip-ahead)")
+		detector = flag.String("detector", "threshold", "recovery trigger to benchmark: threshold or probe (cwg needs scans, which the bench point disables)")
+		profile  = flag.Bool("profile", false, "also run the cycle profiler and record the phase breakdown")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -77,12 +79,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: -rate must be in [0,1], got %g\n", *rate)
 		os.Exit(1)
 	}
+	if *detector != "threshold" && *detector != "probe" {
+		fmt.Fprintf(os.Stderr, "benchjson: -detector must be threshold or probe, got %q (cwg needs CWG scans, which the bench point disables)\n", *detector)
+		os.Exit(1)
+	}
 
 	var res testing.BenchmarkResult
 	var nsPerOp float64
 	for i := 0; i < *runs; i++ {
 		r := testing.Benchmark(func(b *testing.B) {
-			n, err := network.New(benchConfig(*rate))
+			n, err := network.New(benchConfig(*rate, *detector))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -108,11 +114,11 @@ func main() {
 		BytesPerOp:   res.AllocedBytesPerOp(),
 		AllocsPerOp:  res.AllocsPerOp(),
 		CyclesPerSec: 1e9 / nsPerOp,
-		Note:         note(*rate, *runs, *dense),
+		Note:         note(*rate, *runs, *dense, *detector),
 	}
 
 	if *profile {
-		b, err := profiledRun(*rate)
+		b, err := profiledRun(*rate, *detector)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -132,17 +138,20 @@ func main() {
 }
 
 // note summarizes the measurement parameters for the JSON entry.
-func note(rate float64, runs int, dense bool) string {
+func note(rate float64, runs int, dense bool, detector string) string {
 	s := fmt.Sprintf("rate=%g min-of-%d", rate, runs)
 	if dense {
 		s += " dense"
+	}
+	if detector != "threshold" {
+		s += " detector=" + detector
 	}
 	return s
 }
 
 // profiledRun replays the benchmark workload with the profiler attached.
-func profiledRun(rate float64) (telemetry.Breakdown, error) {
-	n, err := network.New(benchConfig(rate))
+func profiledRun(rate float64, detector string) (telemetry.Breakdown, error) {
+	n, err := network.New(benchConfig(rate, detector))
 	if err != nil {
 		return telemetry.Breakdown{}, err
 	}

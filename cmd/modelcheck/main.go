@@ -32,9 +32,10 @@ import (
 func main() {
 	var (
 		schemeName = flag.String("scheme", "all", "scheme to check: SA, DR, PR, or all")
-		workload   = flag.String("workload", "crossing", "scripted workload: single, crossing, or entangled")
-		bugName    = flag.String("bug", "", "injected detector bug: suppress-detect or forge-detect")
-		forge      = flag.Int64("forge-period", 10, "forged-detection firing period in cycles (with -bug forge-detect)")
+		workload   = flag.String("workload", "crossing", "scripted workload: single, crossing, entangled, or gridlock (true-deadlock space)")
+		detector   = flag.String("detector", "threshold", "recovery trigger to check: threshold or probe (cwg recovers from periodic scans, which the explorer does not branch on)")
+		bugName    = flag.String("bug", "", "injected detector bug: suppress-detect, forge-detect, suppress-probe, or forge-probe")
+		forge      = flag.Int64("forge-period", 10, "forged firing period in cycles (with -bug forge-detect or forge-probe)")
 		strict     = flag.Bool("strict", true, "arm the no-false-detection property")
 		delay      = flag.Bool("delay-rescue", true, "branch on deferring recovery at the detection handoff")
 		window     = flag.Int64("window", 4, "injection release window in cycles")
@@ -66,6 +67,28 @@ func main() {
 		*strict = false
 		fmt.Fprintln(os.Stderr, "modelcheck: entangled workload: strict no-false-detection check disabled (detection is congestion-triggered here by design; force with -strict=true)")
 	}
+	// The gridlock space needs tight nondeterminism: under wider adversarial
+	// schedules PR's rescue thrashes without converging (with any detector)
+	// and every path ends in unrecovered-deadlock instead of the property
+	// under test. Narrow whatever the user did not set explicitly.
+	if *workload == "gridlock" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["window"] {
+			*window = 1
+		}
+		if !set["rotations"] {
+			*rotations = 1
+		}
+		if !set["delay-rescue"] {
+			*delay = false
+		}
+		if !set["strict"] {
+			*strict = false
+		}
+		fmt.Fprintf(os.Stderr, "modelcheck: gridlock workload: window=%d rotations=%d delay-rescue=%v strict=%v (true-deadlock space; wide schedules livelock PR's rescue)\n",
+			*window, *rotations, *delay, *strict)
+	}
 
 	var kinds []schemes.Kind
 	if strings.EqualFold(*schemeName, "all") {
@@ -75,6 +98,13 @@ func main() {
 		fatal(err)
 		kinds = []schemes.Kind{k}
 	}
+	switch *detector {
+	case "threshold", "probe":
+	case "cwg":
+		fatal(fmt.Errorf("-detector=cwg is not model-checkable: its recovery dispatch rides the periodic scan, which the explorer treats as an oracle rather than a branch point (use threshold or probe)"))
+	default:
+		fatal(fmt.Errorf("unknown detector %q (want threshold or probe)", *detector))
+	}
 	var bug mc.Bug
 	switch *bugName {
 	case "":
@@ -82,12 +112,23 @@ func main() {
 		bug = mc.BugSuppressDetect
 	case string(mc.BugForgeDetect):
 		bug = mc.BugForgeDetect
+	case string(mc.BugSuppressProbe):
+		bug = mc.BugSuppressProbe
+	case string(mc.BugForgeProbe):
+		bug = mc.BugForgeProbe
 	default:
-		fatal(fmt.Errorf("unknown bug %q (want suppress-detect or forge-detect)", *bugName))
+		fatal(fmt.Errorf("unknown bug %q (want suppress-detect, forge-detect, suppress-probe, or forge-probe)", *bugName))
+	}
+	if (bug == mc.BugSuppressProbe || bug == mc.BugForgeProbe) && *detector != "probe" {
+		fatal(fmt.Errorf("bug %q targets the probe engine: add -detector=probe", bug))
 	}
 
 	exitCode := 0
 	for _, kind := range kinds {
+		if *detector == "probe" && (kind == schemes.SA || kind == schemes.SQ) {
+			fmt.Printf("%s: skipped: the probe detector needs a recovery path to trigger, which avoidance schemes do not have\n", kind)
+			continue
+		}
 		opt := mc.Options{
 			MaxCycles:    *maxCycles,
 			MaxStates:    *maxStates,
@@ -108,9 +149,13 @@ func main() {
 		case "entangled":
 			opt.Net = mc.EntangledConfig(kind)
 			opt.Txns = mc.EntangledTxns()
+		case "gridlock":
+			opt.Net = mc.GridlockConfig(kind)
+			opt.Txns = mc.EntangledTxns()
 		default:
-			fatal(fmt.Errorf("unknown workload %q (want single, crossing, or entangled)", *workload))
+			fatal(fmt.Errorf("unknown workload %q (want single, crossing, entangled, or gridlock)", *workload))
 		}
+		opt.Net.Detector = *detector
 		if *progress {
 			opt.Progress = func(p mc.ProgressInfo) {
 				fmt.Fprintf(os.Stderr, "\rmodelcheck %s: states=%d transitions=%d frontier=%d depth=%d   ",

@@ -71,6 +71,7 @@ func main() {
 		drain       = flag.Int64("drain", 30000, "max drain cycles")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		cwg         = flag.Int64("cwg", 50, "CWG scan interval (0 disables)")
+		detector    = flag.String("detector", "threshold", "recovery trigger: threshold (endpoint persistence counter), cwg (scan results), or probe (distributed edge chasing)")
 
 		tracePath    = flag.String("trace", "", "write a structured event trace to this file")
 		traceFormat  = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (chrome://tracing / Perfetto)")
@@ -133,11 +134,22 @@ func main() {
 	if *rate < 0 || *rate > 1 {
 		fatal(fmt.Errorf("-rate must be a probability in [0,1], got %g", *rate))
 	}
+	switch *detector {
+	case "threshold", "cwg", "probe":
+	default:
+		fatal(fmt.Errorf("-detector must be threshold, cwg, or probe, got %q", *detector))
+	}
+	if *detector == "cwg" && *cwg == 0 {
+		fatal(fmt.Errorf("-detector=cwg needs -cwg > 0: scan results are its only recovery trigger"))
+	}
 
 	cfg := repro.DefaultConfig()
 	kind, err := schemes.KindByName(*schemeName)
 	fatal(err)
 	cfg.Scheme = kind
+	if *detector == "probe" && (kind == schemes.SA || kind == schemes.SQ) {
+		fatal(fmt.Errorf("-detector=probe cannot be combined with -scheme=%s: avoidance schemes have no recovery path for a probe declaration to trigger", kind))
+	}
 	pat, err := protocol.PatternByName(*patternName)
 	fatal(err)
 	cfg.Pattern = pat
@@ -154,6 +166,7 @@ func main() {
 	cfg.Warmup, cfg.Measure, cfg.MaxDrain = *warmup, *measure, *drain
 	cfg.Seed = *seed
 	cfg.CWGInterval = *cwg
+	cfg.Detector = *detector
 	switch *queueMode {
 	case "default":
 		cfg.QueueMode = -1
@@ -251,9 +264,14 @@ func main() {
 	fmt.Printf("delivered:             %d messages (%d flits)\n", res.DeliveredMessages, res.DeliveredFlits)
 	fmt.Printf("transactions:          %d\n", res.Transactions)
 	fmt.Printf("detections:            %d\n", res.DetectEvents)
+	fmt.Printf("detect latency:        %.1f cycles avg (%d detections dispatched)\n", res.AvgDetectLatency, res.DetectLatencySamples)
 	fmt.Printf("deflections:           %d\n", res.Deflections)
 	fmt.Printf("rescues:               %d\n", res.Rescues)
 	fmt.Printf("CWG knots:             %d (normalized %.6f)\n", res.Deadlocks, res.NormalizedDeadlocks)
+	if net.Probe != nil {
+		fmt.Printf("probe traffic:         %d launches, %d probes (%d flits), %d declared, %d dropped\n",
+			net.Probe.Launched, net.Probe.Issued, net.Probe.FlitsCharged, net.Probe.Declared, net.Probe.Dropped)
+	}
 	fmt.Printf("drained:               %v\n", res.Drained)
 
 	if tracker != nil {

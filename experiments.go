@@ -29,7 +29,7 @@ func experimentsSweep(ctx context.Context, cfg network.Config, rates []float64, 
 // Experiment names accepted by RunExperiment.
 var ExperimentNames = []string{
 	"table1", "fig6", "traces", "fig8", "fig9", "fig10", "fig11", "dlfreq",
-	"ablations", "utilization", "faultsweep",
+	"ablations", "utilization", "faultsweep", "detectors",
 }
 
 // RunExperiment regenerates one of the paper's tables or figures by name,
@@ -48,6 +48,8 @@ var ExperimentNames = []string{
 //	            fanout, chain length
 //	utilization — per-scheme channel utilization (the Section 2.1 argument)
 //	faultsweep — delivered fraction and token-recovery latency vs fault rate
+//	detectors — recovery-trigger ablation: threshold vs CWG scan vs in-band
+//	            probe engine (detection latency, false positives, overhead)
 func RunExperiment(ctx context.Context, name string, scale ExperimentScale, w io.Writer) error {
 	switch name {
 	case "table1":
@@ -76,6 +78,8 @@ func RunExperiment(ctx context.Context, name string, scale ExperimentScale, w io
 		return experiments.Utilization(ctx, w, scale)
 	case "faultsweep":
 		return experiments.FaultSweep(ctx, w, scale)
+	case "detectors":
+		return experiments.Detectors(ctx, w, scale)
 	default:
 		return fmt.Errorf("repro: unknown experiment %q (valid: %v)", name, ExperimentNames)
 	}

@@ -121,6 +121,20 @@ type Checker struct {
 	delivered map[message.TxnID]map[delivKey]struct{}
 	hopSeen   map[message.TxnID]map[hopKey]struct{}
 	skipTxns  map[message.TxnID]bool
+
+	// Probe-detector cross-check state (probe.go): when the independent
+	// rebuild first saw the current knot, and whether a probe declaration
+	// has landed since it formed.
+	probeKnotSince   int64
+	probeDeclared    bool
+	probeMissedBound int64
+
+	// ProbeStaleDeclares counts probe declarations whose origin was blocked
+	// but for which the rebuild found no knot: the edge-chasing detector's
+	// inherent false positives (stale returns), measured rather than
+	// reported as violations. The detector-ablation experiment reads this
+	// as its false-positive tally.
+	ProbeStaleDeclares int64
 }
 
 // Attach installs a checker on a built network: it wraps the NI hooks for
@@ -173,6 +187,7 @@ func Attach(n *network.Network, opts Options) *Checker {
 			prevCycle(now)
 		}
 	}
+	c.attachProbe()
 	return c
 }
 
@@ -206,6 +221,7 @@ func (c *Checker) onCycle(now int64) {
 		now > 0 && now%c.n.Cfg.CWGInterval == 0 {
 		c.VerifyKnots(now)
 	}
+	c.probeWatch(now)
 }
 
 // report records one violation, snapshots the system, emits the obs event,

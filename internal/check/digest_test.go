@@ -119,3 +119,35 @@ func TestDigestDeterminism(t *testing.T) {
 		t.Fatal("different seeds produced the same digest")
 	}
 }
+
+// TestProbeDigestDeterminism: with the in-band probe detector active and
+// actually declaring (congested PAT280), repeated runs at a fixed seed are
+// byte-identical — same delivery digest AND same probe traffic. Probes share
+// the fabric's bandwidth accounting, so any nondeterminism in the engine
+// would leak into delivery order and show up in the digest.
+func TestProbeDigestDeterminism(t *testing.T) {
+	run := func() (*check.Digest, [4]int64) {
+		cfg := smallCfg(schemes.PR, protocol.PAT280, 2, 0.08)
+		cfg.FlitBuf = 1
+		cfg.QueueCap = 2
+		cfg.DetectThreshold = 8
+		cfg.Detector = network.DetectorProbe
+		cfg.Measure = 1500
+		n := mustNet(t, cfg)
+		d := check.AttachDigest(n)
+		n.Run()
+		return d, [4]int64{n.Probe.Launched, n.Probe.Issued, n.Probe.Declared, n.Probe.FlitsCharged}
+	}
+	a, pa := run()
+	b, pb := run()
+	if a.Sum() != b.Sum() || a.Count() != b.Count() {
+		t.Fatalf("same configuration, different digests: %v (%d) vs %v (%d)", a, a.Count(), b, b.Count())
+	}
+	if pa != pb {
+		t.Fatalf("probe counters diverged between identical runs: %v vs %v", pa, pb)
+	}
+	if pa[0] == 0 || pa[2] == 0 {
+		t.Fatalf("probe engine never declared (launched=%d declared=%d); the run is not exercising in-band detection", pa[0], pa[2])
+	}
+	t.Logf("digest %v over %d deliveries; probe launched=%d issued=%d declared=%d", a, a.Count(), pa[0], pa[1], pa[2])
+}

@@ -1,18 +1,25 @@
 // CWG detector soundness: the knots the deadlock detector declares are what
 // progressive recovery acts on, so a buggy detector silently converts
 // congestion into rescues (false positives) or lets true deadlocks starve
-// (false negatives). This file re-derives the knot set from scratch — an
-// independent implementation sharing no scan code with internal/deadlock —
-// and compares it against the flags the detector just published.
+// (false negatives). This file re-derives the knot set from the network's raw
+// state and compares it against the flags the detector just published.
+//
+// The per-resource classification comes from the shared wait-edge helper
+// (deadlock.WaitEdges) — the same derivation the scan and the probe engine
+// use — while the knot computation on top of it (the escape propagation) is
+// independent of the scan's reverse-BFS. The historical fully independent
+// classification survives as the control in the differential test
+// (waitedges_diff_test.go), which pins both derivations to identical edge
+// sets on a congested run.
 
 package check
 
 import (
 	"fmt"
 
+	"repro/internal/deadlock"
 	"repro/internal/network"
 	"repro/internal/router"
-	"repro/internal/topology"
 )
 
 // KnotRebuild is the result of an independent channel-wait-for-graph
@@ -41,141 +48,30 @@ func (k *KnotRebuild) VCKnotted(vc *router.VC) bool {
 // message-dependent deadlock exists at this cycle boundary.
 func (k *KnotRebuild) Deadlocked() bool { return k.LockedCount > 0 }
 
-// RebuildKnots re-derives the knot set from the network's raw state using an
-// implementation that shares no scan code with internal/deadlock. It must
+// RebuildKnots re-derives the knot set from the network's raw state. It must
 // run on a cycle boundary; the answer describes this instant and goes stale
 // as soon as the fabric moves.
 func RebuildKnots(n *network.Network) *KnotRebuild {
-	vcsPer := n.VCsPerChannel()
-	queues := 1
-	if len(n.NIs) > 0 {
-		queues = n.NIs[0].Cfg.Queues
-	}
-	numVC := len(n.Channels) * vcsPer
-	inBase := numVC
-	outBase := inBase + len(n.NIs)*queues
-	total := outBase + len(n.NIs)*queues
+	l := deadlock.LayoutOf(n)
 
-	blocked := make([]bool, total)
-	waits := make([][]int32, total)
-	wait := func(u, v int) { waits[u] = append(waits[u], int32(v)) }
-	vcVertex := func(vc *router.VC) int { return vc.Ch.ID*vcsPer + vc.Index }
-
-	// Classify every occupied resource: a resource is blocked exactly when
-	// its occupant cannot advance this cycle, and it then waits on the
-	// resources whose release would let it advance.
-	for _, ch := range n.Channels {
-		for _, vc := range ch.VCs {
-			f, ok := vc.Front()
-			if !ok || f.Pkt.BeingRescued {
-				continue // empty, or progressing via the recovery lane
-			}
-			u := vcVertex(vc)
-			if ch.Kind == router.KindEject {
-				// The NI consumes ejection channels: body flits and
-				// preallocated sinks always drain; a header needs an input
-				// queue slot.
-				m := f.Pkt.Msg
-				if !f.Head() || m.Preallocated {
-					continue
-				}
-				ep := n.Torus.EndpointID(topology.Endpoint{Router: ch.Src, Local: ch.Local})
-				q := n.QueueOf(m)
-				if !n.NIs[ep].InSpace(q) {
-					blocked[u] = true
-					wait(u, inBase+ep*queues+q)
-				}
-				continue
-			}
-			if vc.Route != nil {
-				// Allocated worm: advances iff the downstream VC has space.
-				if !vc.Route.SpaceFor() {
-					blocked[u] = true
-					wait(u, vcVertex(vc.Route))
-				}
-				continue
-			}
-			if !f.Head() {
-				continue // transient unrouted body flit, treated as live
-			}
-			// Unrouted header: advances iff any routing candidate's output
-			// VC is free; otherwise it waits on all of them.
-			rid := ch.Src
-			if ch.Kind == router.KindLink {
-				rid = ch.Dst
-			}
-			rt := n.Routers[rid]
-			free := false
-			cands := n.RouteCandidates(rid, f.Pkt)
-			for _, cd := range cands {
-				if rt.Outputs[cd.Port].VCs[cd.VC].Owner == nil {
-					free = true
-					break
-				}
-			}
-			if free {
-				continue
-			}
-			blocked[u] = true
-			for _, cd := range cands {
-				wait(u, vcVertex(rt.Outputs[cd.Port].VCs[cd.VC]))
-			}
-		}
-	}
-	for ep, ni := range n.NIs {
-		for q := 0; q < queues; q++ {
-			if m, ok := ni.Head(q); ok {
-				// Input queue head: serviced iff the subordinates' output
-				// queue has room (terminating messages always drain).
-				u := inBase + ep*queues + q
-				if subQ, count, has := n.SubQueueOf(m); has && !ni.OutSpace(subQ, count) {
-					blocked[u] = true
-					wait(u, outBase+ep*queues+subQ)
-				}
-			}
-			hm, _, vcAlloc, ok := ni.OutHead(q)
-			if !ok {
-				continue
-			}
-			u := outBase + ep*queues + q
-			if vcAlloc != nil {
-				// Mid-injection worm: streams iff the held VC has space.
-				if !vcAlloc.SpaceFor() {
-					blocked[u] = true
-					wait(u, vcVertex(vcAlloc))
-				}
-				continue
-			}
-			// Uninjected header: needs a free VC from its allowed set.
-			free := false
-			for _, idx := range n.InjectVCsOf(hm) {
-				if ni.Inject.VCs[idx].Owner == nil {
-					free = true
-					break
-				}
-			}
-			if free {
-				continue
-			}
-			blocked[u] = true
-			for _, idx := range n.InjectVCsOf(hm) {
-				wait(u, vcVertex(ni.Inject.VCs[idx]))
-			}
-		}
-	}
+	blocked := make([]bool, l.Total)
+	waits := make([][]int32, l.Total)
+	deadlock.WaitEdges(n, l, blocked, func(u, v int) {
+		waits[u] = append(waits[u], int32(v))
+	})
 
 	// A blocked resource escapes when some wait-for path reaches any
 	// non-blocked resource; the knot is what remains. Propagate escape
 	// backwards over the wait edges with a worklist.
-	pred := make([][]int32, total)
+	pred := make([][]int32, l.Total)
 	for u := range waits {
 		for _, v := range waits[u] {
 			pred[v] = append(pred[v], int32(u))
 		}
 	}
-	escaped := make([]bool, total)
-	work := make([]int32, 0, total)
-	for v := 0; v < total; v++ {
+	escaped := make([]bool, l.Total)
+	work := make([]int32, 0, l.Total)
+	for v := 0; v < l.Total; v++ {
 		if !blocked[v] {
 			escaped[v] = true
 			work = append(work, int32(v))
@@ -193,12 +89,12 @@ func RebuildKnots(n *network.Network) *KnotRebuild {
 	}
 
 	lockedCount := 0
-	for v := 0; v < total; v++ {
+	for v := 0; v < l.Total; v++ {
 		if blocked[v] && !escaped[v] {
 			lockedCount++
 		}
 	}
-	return &KnotRebuild{Blocked: blocked, Escaped: escaped, LockedCount: lockedCount, vcsPer: vcsPer}
+	return &KnotRebuild{Blocked: blocked, Escaped: escaped, LockedCount: lockedCount, vcsPer: l.VCsPer}
 }
 
 // VerifyKnots rebuilds the channel-wait-for graph from the network's raw
@@ -208,8 +104,11 @@ func RebuildKnots(n *network.Network) *KnotRebuild {
 // by mirroring the scan cadence); the flags describe scan-time state and go
 // stale as soon as the fabric moves.
 func (c *Checker) VerifyKnots(now int64) {
+	c.verifyKnotsWith(now, RebuildKnots(c.n))
+}
+
+func (c *Checker) verifyKnotsWith(now int64, k *KnotRebuild) {
 	n := c.n
-	k := RebuildKnots(n)
 	for _, ch := range n.Channels {
 		for _, vc := range ch.VCs {
 			want := k.VCKnotted(vc)

@@ -47,13 +47,8 @@ type Host interface {
 type Detector struct {
 	host Host
 
-	// vertex layout: channel VCs first, then per-NI input queues, then
-	// per-NI output queues.
-	numVC    int
-	inBase   int
-	outBase  int
-	total    int
-	queues   int
+	// layout is the shared CWG vertex numbering (see waitedges.go).
+	layout   Layout
 	prevLock []bool
 
 	// Scans counts performed scans; Deadlocks counts newly deadlocked
@@ -62,6 +57,17 @@ type Detector struct {
 	Scans          int64
 	Deadlocks      int64
 	LastDeadlocked int
+
+	// Detection-latency accounting: cycles from knot formation (bounded
+	// below by the previous scan, which saw no knot) to the scan that
+	// first reports it. LastDetectLatency is the most recent sample;
+	// DetectLatencySum/Count accumulate for averaging. prevScanAt and
+	// prevKnotted carry the previous scan's cycle and verdict.
+	DetectLatencySum   int64
+	DetectLatencyCount int64
+	LastDetectLatency  int64
+	prevScanAt         int64
+	prevKnotted        bool
 
 	// Forensics, when set, makes each scan retain the deadlocked wait-for
 	// subgraph as a resource chain retrievable via KnotChain — the raw
@@ -73,25 +79,29 @@ type Detector struct {
 
 // NewDetector builds a detector over the host.
 func NewDetector(h Host) *Detector {
-	d := &Detector{host: h}
-	d.numVC = len(h.AllChannels()) * h.VCsPerChannel()
-	d.queues = 1
-	if nis := h.AllNIs(); len(nis) > 0 {
-		d.queues = nis[0].Cfg.Queues
-	}
-	d.inBase = d.numVC
-	d.outBase = d.inBase + len(h.AllNIs())*d.queues
-	d.total = d.outBase + len(h.AllNIs())*d.queues
-	d.prevLock = make([]bool, d.total)
+	d := &Detector{host: h, layout: LayoutOf(h), prevScanAt: -1}
+	d.prevLock = make([]bool, d.layout.Total)
 	return d
 }
 
+// Layout exposes the detector's vertex numbering (shared with the probe
+// engine and the independent rebuild in internal/check).
+func (d *Detector) Layout() Layout { return d.layout }
+
 func (d *Detector) vcVertex(ch *router.Channel, idx int) int {
-	return ch.ID*d.host.VCsPerChannel() + idx
+	return ch.ID*d.layout.VCsPer + idx
 }
 
-func (d *Detector) inVertex(ep, q int) int  { return d.inBase + ep*d.queues + q }
-func (d *Detector) outVertex(ep, q int) int { return d.outBase + ep*d.queues + q }
+func (d *Detector) inVertex(ep, q int) int  { return d.layout.InVertex(ep, q) }
+func (d *Detector) outVertex(ep, q int) int { return d.layout.OutVertex(ep, q) }
+
+// InQueueKnotted reports whether the most recent scan placed endpoint ep's
+// input queue q inside the knot — the trigger predicate for the cwg detector
+// mode, which dispatches recovery from scan results instead of endpoint
+// threshold events.
+func (d *Detector) InQueueKnotted(ep, q int) bool {
+	return d.prevLock[d.layout.InVertex(ep, q)]
+}
 
 // consumerRouter returns the router that consumes flits from a channel (for
 // link channels the downstream router; for injection channels the local
@@ -115,157 +125,32 @@ func (d *Detector) Scan() (deadlockedResources, newKnots int) {
 // how long each deadlocked virtual channel has gone without movement.
 func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 	h := d.host
-	tor := h.Topology()
+	l := d.layout
 
-	blocked := make([]bool, d.total)
-	live := make([]bool, d.total)
+	// Classification is the shared wait-edge derivation (waitedges.go),
+	// reused verbatim by the probe engine and the independent rebuild.
+	blocked := make([]bool, l.Total)
 	// adjacency: wait-for edges u -> v (u waits for v).
-	adj := make([][]int32, d.total)
-	addEdge := func(u, v int) { adj[u] = append(adj[u], int32(v)) }
-
-	// --- channel VCs ---
-	for _, ch := range h.AllChannels() {
-		for _, vc := range ch.VCs {
-			f, ok := vc.Front()
-			if !ok {
-				continue
-			}
-			u := d.vcVertex(ch, vc.Index)
-			if f.Pkt.BeingRescued {
-				live[u] = true
-				continue
-			}
-			if ch.Kind == router.KindEject {
-				// Consumed by the NI: body flits and preallocated
-				// sinks always progress; a header needing a queue slot
-				// waits on the input queue.
-				ep := tor.EndpointID(topology.Endpoint{Router: ch.Src, Local: ch.Local})
-				m := f.Pkt.Msg
-				if !f.Head() || m.Preallocated {
-					live[u] = true
-					continue
-				}
-				q := h.QueueOf(m)
-				if h.AllNIs()[ep].InSpace(q) {
-					live[u] = true
-				} else {
-					blocked[u] = true
-					addEdge(u, d.inVertex(ep, q))
-				}
-				continue
-			}
-			// Link or injection channel: consumed by a router.
-			if vc.Route != nil {
-				if vc.Route.SpaceFor() {
-					live[u] = true
-				} else {
-					blocked[u] = true
-					addEdge(u, d.vcVertex(vc.Route.Ch, vc.Route.Index))
-				}
-				continue
-			}
-			if !f.Head() {
-				// A body flit with no route can only occur transiently
-				// (route cleared as the tail left a previous buffer is
-				// impossible since route lives on this VC); treat as
-				// live defensively.
-				live[u] = true
-				continue
-			}
-			// Unrouted header: waits on any candidate output VC.
-			r := consumerRouter(ch)
-			cands := h.RouteCandidates(r, f.Pkt)
-			free := false
-			rt := h.RouterByID(r)
-			for _, c := range cands {
-				out := rt.Outputs[c.Port].VCs[c.VC]
-				if out.Owner == nil {
-					free = true
-					break
-				}
-			}
-			if free {
-				live[u] = true
-				continue
-			}
-			blocked[u] = true
-			for _, c := range cands {
-				out := rt.Outputs[c.Port].VCs[c.VC]
-				addEdge(u, d.vcVertex(out.Ch, out.Index))
-			}
-		}
-	}
-
-	// --- NI queues ---
-	for ep, ni := range h.AllNIs() {
-		for q := 0; q < d.queues; q++ {
-			// Input queue: progresses when the controller can service
-			// its head (output space for the subordinates).
-			if m, ok := ni.Head(q); ok {
-				u := d.inVertex(ep, q)
-				subQ, count, has := h.SubQueueOf(m)
-				if !has || ni.OutSpace(subQ, count) {
-					live[u] = true
-				} else {
-					blocked[u] = true
-					addEdge(u, d.outVertex(ep, subQ))
-				}
-			}
-			// Output queue: progresses when its head can stream a flit
-			// into the injection channel.
-			hm, pkt, vcAlloc, ok := ni.OutHead(q)
-			if !ok {
-				continue
-			}
-			u := d.outVertex(ep, q)
-			if vcAlloc != nil {
-				if vcAlloc.SpaceFor() {
-					live[u] = true
-				} else {
-					blocked[u] = true
-					addEdge(u, d.vcVertex(vcAlloc.Ch, vcAlloc.Index))
-				}
-				continue
-			}
-			_ = pkt
-			free := false
-			var cands []int
-			for _, idx := range h.InjectVCsOf(hm) {
-				vc := ni.Inject.VCs[idx]
-				if vc.Owner == nil {
-					free = true
-					break
-				}
-				cands = append(cands, idx)
-			}
-			if free {
-				live[u] = true
-				continue
-			}
-			blocked[u] = true
-			for _, idx := range cands {
-				addEdge(u, d.vcVertex(ni.Inject, idx))
-			}
-		}
-	}
+	adj := make([][]int32, l.Total)
+	WaitEdges(h, l, blocked, func(u, v int) { adj[u] = append(adj[u], int32(v)) })
 
 	// --- knot computation ---
 	// A blocked resource escapes the knot if some wait-for path reaches a
-	// non-blocked resource: explicitly live ones, but also any resource
-	// that is simply not stuck (an empty VC that an in-flight worm will
-	// advance into, an idle queue, ...). Only waiting chains confined
-	// entirely to blocked resources form a knot. Reverse BFS from all
-	// non-blocked vertices over reversed edges.
-	radj := make([][]int32, d.total)
+	// non-blocked resource: one that progresses this cycle, but also any
+	// resource that is simply not stuck (an empty VC that an in-flight
+	// worm will advance into, an idle queue, ...). Only waiting chains
+	// confined entirely to blocked resources form a knot. Reverse BFS from
+	// all non-blocked vertices over reversed edges.
+	radj := make([][]int32, l.Total)
 	for u := range adj {
 		for _, v := range adj[u] {
 			radj[v] = append(radj[v], int32(u))
 		}
 	}
-	reach := make([]bool, d.total)
-	queue := make([]int32, 0, d.total)
-	for v := 0; v < d.total; v++ {
-		if live[v] || !blocked[v] {
+	reach := make([]bool, l.Total)
+	queue := make([]int32, 0, l.Total)
+	for v := 0; v < l.Total; v++ {
+		if !blocked[v] {
 			reach[v] = true
 			queue = append(queue, int32(v))
 		}
@@ -281,8 +166,8 @@ func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 		}
 	}
 
-	locked := make([]bool, d.total)
-	for v := 0; v < d.total; v++ {
+	locked := make([]bool, l.Total)
+	for v := 0; v < l.Total; v++ {
 		if blocked[v] && !reach[v] {
 			locked[v] = true
 			deadlockedResources++
@@ -300,8 +185,8 @@ func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 	// Count newly formed knot components: weakly connected components of
 	// the deadlocked subgraph containing at least one resource that was
 	// not deadlocked in the previous scan.
-	visited := make([]bool, d.total)
-	und := make([][]int32, d.total)
+	visited := make([]bool, l.Total)
+	und := make([][]int32, l.Total)
 	for u := range adj {
 		if !locked[u] {
 			continue
@@ -313,7 +198,7 @@ func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 			}
 		}
 	}
-	for v := 0; v < d.total; v++ {
+	for v := 0; v < l.Total; v++ {
 		if !locked[v] || visited[v] {
 			continue
 		}
@@ -337,6 +222,23 @@ func (d *Detector) ScanAt(now int64) (deadlockedResources, newKnots int) {
 		}
 	}
 
+	// Detection latency: a scan that reports a knot where the previous scan
+	// saw none just "detected" it; the knot formed somewhere after the
+	// previous scan, so that scan's cycle bounds the formation time below.
+	if now >= 0 && deadlockedResources > 0 && !d.prevKnotted {
+		base := d.prevScanAt
+		if base < 0 {
+			base = 0
+		}
+		d.LastDetectLatency = now - base
+		d.DetectLatencySum += d.LastDetectLatency
+		d.DetectLatencyCount++
+	}
+	if now >= 0 {
+		d.prevScanAt = now
+		d.prevKnotted = deadlockedResources > 0
+	}
+
 	d.prevLock = locked
 	d.Scans++
 	d.Deadlocks += int64(newKnots)
@@ -357,7 +259,7 @@ func (d *Detector) KnotChain() []obs.WaitResource { return d.lastChain }
 // remapped onto chain indices.
 func (d *Detector) buildChain(now int64, locked []bool, adj [][]int32) []obs.WaitResource {
 	idx := make(map[int]int)
-	for v := 0; v < d.total; v++ {
+	for v := 0; v < d.layout.Total; v++ {
 		if locked[v] {
 			idx[v] = len(idx)
 		}
@@ -403,7 +305,7 @@ func (d *Detector) buildChain(now int64, locked []bool, adj [][]int32) []obs.Wai
 	}
 	for ep, ni := range h.AllNIs() {
 		rt := int(tor.EndpointByID(ep).Router)
-		for q := 0; q < d.queues; q++ {
+		for q := 0; q < d.layout.Queues; q++ {
 			if v := d.inVertex(ep, q); locked[v] {
 				r := obs.WaitResource{
 					Kind: "inq", Desc: fmt.Sprintf("ni%d.in%d", ep, q),

@@ -3,7 +3,10 @@ package deadlock
 // Snapshot/restore support for the model-checking explorer. The detector's
 // only state that influences future behavior is prevLock (fresh-knot
 // accounting compares each scan's locked set against it) and the counters;
-// the vertex layout is derived from the immutable host shape.
+// the vertex layout is derived from the immutable host shape. The
+// detection-latency accounting (prevScanAt/prevKnotted and the sums) is pure
+// bookkeeping but must rewind too, or a restored path would charge latency
+// against another path's scan history.
 
 // DetectorState is the detector's mutable state.
 type DetectorState struct {
@@ -11,6 +14,12 @@ type DetectorState struct {
 	Scans          int64
 	Deadlocks      int64
 	LastDeadlocked int
+
+	DetectLatencySum   int64
+	DetectLatencyCount int64
+	LastDetectLatency  int64
+	PrevScanAt         int64
+	PrevKnotted        bool
 }
 
 // CaptureState snapshots the detector.
@@ -20,6 +29,12 @@ func (d *Detector) CaptureState() DetectorState {
 		Scans:          d.Scans,
 		Deadlocks:      d.Deadlocks,
 		LastDeadlocked: d.LastDeadlocked,
+
+		DetectLatencySum:   d.DetectLatencySum,
+		DetectLatencyCount: d.DetectLatencyCount,
+		LastDetectLatency:  d.LastDetectLatency,
+		PrevScanAt:         d.prevScanAt,
+		PrevKnotted:        d.prevKnotted,
 	}
 }
 
@@ -29,4 +44,10 @@ func (d *Detector) RestoreState(s DetectorState) {
 	d.Scans = s.Scans
 	d.Deadlocks = s.Deadlocks
 	d.LastDeadlocked = s.LastDeadlocked
+
+	d.DetectLatencySum = s.DetectLatencySum
+	d.DetectLatencyCount = s.DetectLatencyCount
+	d.LastDetectLatency = s.LastDetectLatency
+	d.prevScanAt = s.PrevScanAt
+	d.prevKnotted = s.PrevKnotted
 }

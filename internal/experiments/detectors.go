@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/netiface"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/schemes"
+)
+
+// Detector ablation: the paper's recovery schemes are triggered by a local
+// persistence heuristic (T=25 cycles, matching the CWG detector's average
+// detection time), but the trigger itself is a design axis. This sweep runs
+// progressive recovery under all three detectors the simulator implements —
+// the endpoint threshold counter, the out-of-band CWG scan (50-cycle
+// period), and the in-band distributed probe engine — and publishes the
+// three quantities that separate them:
+//
+//   - detection latency: cycles from blocking onset to recovery dispatch;
+//   - false positives: dispatches at instants where an independent knot
+//     rebuild finds no true deadlock (the threshold heuristic is
+//     deliberately conservative; edge chasing has a small stale-return
+//     rate; the scan is the oracle itself, so its count is zero by
+//     construction);
+//   - bandwidth overhead: probes are real messages charged to the fabric
+//     one flit per hop, while the threshold counter is free and the scan
+//     runs out of band.
+type detectorPoint struct {
+	Throughput  float64
+	Latency     float64
+	DetectLat   float64
+	DetectCount int64
+	FalsePos    int64
+	Rescues     int64
+	ProbeFlits  int64
+	Delivered   int64
+}
+
+// runDetectorPoint executes one (pattern, detector) cell. False positives
+// are counted by re-deriving the knot set at every recovery dispatch: a
+// dispatch with no knot anywhere in the fabric acted on congestion, not
+// deadlock.
+func runDetectorPoint(ctx context.Context, cfg network.Config) (detectorPoint, error) {
+	n, err := newNet(cfg)
+	if err != nil {
+		return detectorPoint{}, err
+	}
+	var falsePos int64
+	countDispatch := func() {
+		if !check.RebuildKnots(n).Deadlocked() {
+			falsePos++
+		}
+	}
+	switch cfg.Detector {
+	case network.DetectorProbe:
+		prev := n.Probe.OnDeclare
+		n.Probe.OnDeclare = func(origin int, now int64) {
+			countDispatch()
+			if prev != nil {
+				prev(origin, now)
+			}
+		}
+	case network.DetectorThreshold:
+		for _, ni := range n.NIs {
+			h := &ni.Cfg.Hooks
+			prev := h.Detect
+			h.Detect = func(ni2 *netiface.NI, q int, now int64) {
+				countDispatch()
+				if prev != nil {
+					prev(ni2, q, now)
+				}
+			}
+		}
+	}
+	if err := RunNetwork(ctx, n); err != nil {
+		return detectorPoint{}, err
+	}
+	st := n.Stats
+	p := detectorPoint{
+		Throughput:  st.Throughput(),
+		Latency:     st.AvgLatency(),
+		DetectLat:   st.AvgDetectLatency(),
+		DetectCount: st.DetectLatencyCount,
+		FalsePos:    falsePos,
+		Rescues:     st.Rescues,
+		Delivered:   st.DeliveredFlits,
+	}
+	if n.Probe != nil {
+		p.ProbeFlits = n.Probe.FlitsCharged
+	}
+	return p, nil
+}
+
+// Detectors sweeps the recovery-trigger axis: PR under the threshold, CWG,
+// and probe detectors on both a 4-type coherence mix (PAT721) and the
+// forward-heavy 2/8/0 mix (PAT280) that stresses chained dependencies.
+// Cells run concurrently; rows print in fixed order.
+func Detectors(ctx context.Context, w io.Writer, s Scale) error {
+	fmt.Fprintf(w, "=== Detector ablation (scale=%s) ===\n", s.Name)
+	type cell struct {
+		pat      *protocol.Pattern
+		rate     float64
+		detector string
+	}
+	var cells []cell
+	for _, px := range []struct {
+		pat  *protocol.Pattern
+		rate float64
+	}{
+		// Both points sit past the knee so blocking persists and every
+		// detector has something to find.
+		{protocol.PAT721, 0.020},
+		{protocol.PAT280, 0.013},
+	} {
+		for _, det := range []string{network.DetectorThreshold, network.DetectorCWG, network.DetectorProbe} {
+			cells = append(cells, cell{px.pat, px.rate, det})
+		}
+	}
+	points, err := mapOrdered(ctx, Parallelism(), len(cells), func(i int) (detectorPoint, error) {
+		c := cells[i]
+		cfg := baseConfig(s)
+		cfg.Scheme = schemes.PR
+		cfg.Pattern = c.pat
+		cfg.VCs = 4
+		cfg.Rate = c.rate
+		cfg.Detector = c.detector
+		cfg.Seed = 41
+		return runDetectorPoint(ctx, cfg)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-10s %9s %9s %10s %8s %9s %8s %11s %9s\n",
+		"pattern", "detector", "thruput", "latency", "detectlat", "fired", "falsepos", "rescue", "probeflits", "overhead")
+	for i, c := range cells {
+		p := points[i]
+		overhead := 0.0
+		if p.Delivered > 0 {
+			overhead = float64(p.ProbeFlits) / float64(p.Delivered) * 100
+		}
+		fmt.Fprintf(w, "%-8s %-10s %9.4f %9.1f %10.1f %8d %9d %8d %11d %8.2f%%\n",
+			c.pat.Name, c.detector, p.Throughput, p.Latency, p.DetectLat, p.DetectCount,
+			p.FalsePos, p.Rescues, p.ProbeFlits, overhead)
+	}
+	return nil
+}

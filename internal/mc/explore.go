@@ -66,6 +66,9 @@ func (e *Explorer) stepOnce(c Choice, pm *pathMeta) *Violation {
 			h(ni, 0, now)
 		}
 	}
+	if e.opt.Bug == BugForgeProbe && now > 0 && now%e.opt.ForgePeriod == 0 && e.n.Probe != nil {
+		e.n.Probe.OnDeclare(e.n.Probe.Layout().InVertex(0, 0), now)
+	}
 	e.n.Step()
 	if e.detectFired {
 		e.result.Detections++

@@ -241,6 +241,35 @@ func (e *Explorer) stateHash(s *network.Snapshot) uint64 {
 		}
 		z.w(int64(s.Detector.LastDeadlocked))
 	}
+	if s.Probe != nil {
+		// Launch sequence numbers are monotonic allocation IDs; two states
+		// whose probe populations differ only by absolute sequence values
+		// behave identically, so seqs fold as their rank among the live
+		// launches (CaptureState sorts them ascending). Born is absolute
+		// time and rebases like every other timestamp.
+		seqIdx := make(map[int64]int64, len(s.Probe.Launches))
+		z.w(int64(len(s.Probe.Launches)))
+		for i, lr := range s.Probe.Launches {
+			seqIdx[lr.Seq] = int64(i)
+			z.w(int64(i))
+			z.w(int64(lr.Origin))
+			z.w(int64(lr.Outstanding))
+			z.w(int64(len(lr.Seen)))
+			for _, v := range lr.Seen {
+				z.w(int64(v))
+			}
+		}
+		for _, q := range s.Probe.Chq {
+			z.w(int64(len(q)))
+			for _, pr := range q {
+				z.w(int64(pr.Origin))
+				z.w(int64(pr.Sender))
+				z.w(int64(pr.Target))
+				z.w(seqIdx[pr.Seq])
+				z.w(rebase(pr.Born, now))
+			}
+		}
+	}
 
 	st := s.Source.(scriptState)
 	for i := range st.released {

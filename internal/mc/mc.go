@@ -66,6 +66,14 @@ const (
 	// cycles regardless of queue state: the checker must find a
 	// false-detection path (strict mode).
 	BugForgeDetect Bug = "forge-detect"
+	// BugSuppressProbe swallows every probe-engine deadlock declaration
+	// (probe detector mode): probes chase and return but recovery never
+	// hears, so the checker must find a missed-deadlock path.
+	BugSuppressProbe Bug = "suppress-probe"
+	// BugForgeProbe fires a forged probe declaration every ForgePeriod
+	// cycles regardless of probe state: the checker must find a
+	// false-detection path (strict mode, probe detector).
+	BugForgeProbe Bug = "forge-probe"
 )
 
 // TxnSpec scripts one transaction: which template of the configured pattern
@@ -237,15 +245,33 @@ func New(opt Options) (*Explorer, error) {
 	}
 	// Wrap every endpoint's Detect hook: record effective detections (the
 	// checker's notion of "detection" is one the handling scheme acts on)
-	// and apply the suppress-detect bug by not forwarding.
+	// and apply the suppress-detect bug by not forwarding. Under the probe
+	// detector a threshold firing only launches probes — the scheme acts on
+	// declarations, observed through the OnDeclare wrap below — so it does
+	// not count as a detection there.
+	probeMode := cfg.Detector == network.DetectorProbe
 	for _, ni := range n.NIs {
 		prev := ni.Cfg.Hooks.Detect
 		ni.Cfg.Hooks.Detect = func(ni *netiface.NI, q int, now int64) {
 			if opt.Bug == BugSuppressDetect || prev == nil {
 				return
 			}
-			e.detectFired = true
+			if !probeMode {
+				e.detectFired = true
+			}
 			prev(ni, q, now)
+		}
+	}
+	if n.Probe != nil {
+		prev := n.Probe.OnDeclare
+		n.Probe.OnDeclare = func(origin int, now int64) {
+			if opt.Bug == BugSuppressProbe {
+				return
+			}
+			e.detectFired = true
+			if prev != nil {
+				prev(origin, now)
+			}
 		}
 	}
 	return e, nil

@@ -81,6 +81,35 @@ func EntangledConfig(kind schemes.Kind) network.Config {
 	return cfg
 }
 
+// GridlockConfig hardens the tiny network until a true message-dependent
+// deadlock is reachable, making detector-driven recovery load-bearing: with
+// single-slot queues, single-flit channel buffers, and forwards longer than
+// an entire source-to-sink fabric path, a home's stuck forward pins its
+// output queue, which blocks servicing the next request, which keeps the
+// input queue full, which blocks the opposite home's forward ejecting — and
+// the same chain runs the other way. The knot closes through each worm's
+// committed VC chain, so extra VCs offer no escape. RouterTimeout is pushed
+// past every detection deadline so the only recovery trigger is the
+// configured detector; suppressing it (BugSuppressDetect/BugSuppressProbe)
+// turns the space into a missed-deadlock counterexample factory. Explore
+// this space with tight nondeterminism (InjectWindow/Rotations 1,
+// DelayRescue off): under wider adversarial schedules PR's rescue thrashes
+// without converging — with the threshold detector as much as with probes —
+// and every path ends in unrecovered-deadlock instead of the property under
+// test. Use EntangledTxns as the workload: its two mutually-forwarding homes
+// are exactly the cycle the lengths above are tuned to close.
+func GridlockConfig(kind schemes.Kind) network.Config {
+	cfg := TinyConfig(kind)
+	cfg.Pattern = protocol.PAT280
+	cfg.FlitBuf = 1
+	cfg.QueueCap = 1
+	cfg.ServiceTime = 2
+	cfg.MaxOutstanding = 2
+	cfg.RouterTimeout = 2000
+	cfg.Lengths = protocol.Lengths{Request: 6, Reply: 3, Backoff: 2}
+	return cfg
+}
+
 // EntangledTxns scripts EntangledConfig's workload: two requesters each
 // issue two chain-3 transactions whose homes forward third-party requests at
 // each other.

@@ -33,6 +33,7 @@ type ReplayConfig struct {
 	MaxOutstanding   int              `json:"max_outstanding"`
 	Seed             uint64           `json:"seed"`
 	CWGInterval      int64            `json:"cwg_interval"`
+	Detector         string           `json:"detector,omitempty"`
 }
 
 func replayConfig(c network.Config) ReplayConfig {
@@ -56,6 +57,7 @@ func replayConfig(c network.Config) ReplayConfig {
 		MaxOutstanding:   c.MaxOutstanding,
 		Seed:             c.Seed,
 		CWGInterval:      c.CWGInterval,
+		Detector:         c.Detector,
 	}
 }
 
@@ -89,6 +91,7 @@ func (rc *ReplayConfig) NetConfig() (network.Config, error) {
 		MaxOutstanding:   rc.MaxOutstanding,
 		Seed:             rc.Seed,
 		CWGInterval:      rc.CWGInterval,
+		Detector:         rc.Detector,
 		// Run phases are owned by the explorer and overridden in New.
 		Measure: 1,
 	}, nil

@@ -1,9 +1,10 @@
 package message
 
 // Pool is a per-simulation free list recycling the heap objects the
-// simulation hot path churns through: Messages (one per protocol hop) and
-// Packets (one per injected message). Flits need no pool — they are value
-// types embedded in channel buffers and queues.
+// simulation hot path churns through: Messages (one per protocol hop),
+// Packets (one per injected message), and Probes (one per in-flight
+// detection probe copy). Flits need no pool — they are value types embedded
+// in channel buffers and queues.
 //
 // A simulation steps single-threaded, so the pool needs no locking; each
 // Network owns its own pool, which keeps concurrently running sweep points
@@ -18,8 +19,9 @@ package message
 // on double-Put, turning lifetime bugs into immediate failures instead of
 // silent state corruption.
 type Pool struct {
-	msgs []*Message
-	pkts []*Packet
+	msgs   []*Message
+	pkts   []*Packet
+	probes []*Probe
 }
 
 // NewPool returns an empty pool.

@@ -80,7 +80,29 @@ type Config struct {
 	// CWGInterval is the channel-wait-for-graph scan period in cycles
 	// (paper: every 50); 0 disables scanning.
 	CWGInterval int64
+	// Detector selects what triggers the scheme's recovery action (the
+	// detection-mechanism ablation axis). The handling scheme is unchanged;
+	// only the trigger moves:
+	//
+	//	"threshold" (or ""): the endpoint persistence counter — an NI whose
+	//	    service has stalled DetectThreshold+1 consecutive cycles fires.
+	//	    The paper's in-band heuristic; cheap, local, congestion-prone.
+	//	"cwg": the centralized scan — recovery fires for each endpoint
+	//	    input queue the scan places inside a knot. Oracle-precise but
+	//	    out-of-band and quantized to CWGInterval.
+	//	"probe": distributed Chandy–Misra–Haas edge chasing — threshold
+	//	    firings launch in-band probes along wait edges, and only a
+	//	    probe returning to its blocked origin triggers recovery.
+	//	    Precise like cwg, in-band like threshold, paid in probe flits.
+	Detector string
 }
+
+// Detector mode names accepted by Config.Detector.
+const (
+	DetectorThreshold = "threshold"
+	DetectorCWG       = "cwg"
+	DetectorProbe     = "probe"
+)
 
 // DefaultConfig returns the paper's Table 2 defaults with PR handling and a
 // modest measurement window (experiments override Warmup/Measure for
@@ -145,6 +167,19 @@ func (c *Config) Validate() error {
 	}
 	if c.Rate < 0 || c.Rate > 1 {
 		return fmt.Errorf("network: rate %v out of [0,1]", c.Rate)
+	}
+	switch c.Detector {
+	case "", DetectorThreshold:
+	case DetectorCWG:
+		if c.CWGInterval <= 0 {
+			return fmt.Errorf("network: detector %q needs CWGInterval > 0 (scans are its only trigger)", c.Detector)
+		}
+	case DetectorProbe:
+		if c.Scheme == schemes.SA || c.Scheme == schemes.SQ {
+			return fmt.Errorf("network: detector %q is incompatible with avoidance scheme %v (no recovery path to trigger)", c.Detector, c.Scheme)
+		}
+	default:
+		return fmt.Errorf("network: unknown detector %q (want threshold, cwg, or probe)", c.Detector)
 	}
 	if c.Warmup < 0 || c.Measure <= 0 || c.MaxDrain < 0 {
 		return fmt.Errorf("network: bad run phases")

@@ -66,6 +66,7 @@ func (n *Network) attachDetector() {
 	det := deadlock.NewDetector(n)
 	n.Detector = det
 	n.scan = func(now int64) {
+		prevLatCount := det.DetectLatencyCount
 		locked, fresh := det.ScanAt(now)
 		if n.inWindow(now) {
 			n.Stats.CWGScans++
@@ -81,6 +82,28 @@ func (n *Network) attachDetector() {
 		}
 		if n.episodes != nil {
 			n.episodes.Observe(now, locked, det.KnotChain())
+		}
+		if n.Cfg.Detector == DetectorCWG {
+			// Scan-triggered recovery: the scan is the detector, so each
+			// endpoint input queue it places inside the knot dispatches the
+			// scheme's recovery action, and a first-report scan's latency
+			// sample (bounded below by the previous all-clear scan) is the
+			// detection latency. Endpoints dispatch in ID order — the same
+			// deterministic order every other sweep uses.
+			if det.DetectLatencyCount > prevLatCount {
+				n.Stats.DetectLatencySum += det.LastDetectLatency
+				n.Stats.DetectLatencyCount++
+			}
+			if locked > 0 {
+				l := det.Layout()
+				for ep, ni := range n.NIs {
+					for q := 0; q < l.Queues; q++ {
+						if det.InQueueKnotted(ep, q) {
+							n.recoverAt(ni, q, now)
+						}
+					}
+				}
+			}
 		}
 	}
 }

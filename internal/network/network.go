@@ -9,6 +9,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/netiface"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/routing"
@@ -55,6 +56,11 @@ type Network struct {
 	// when Cfg.CWGInterval > 0; scan is its periodic entry point.
 	Detector *deadlock.Detector
 	scan     func(now int64)
+
+	// Probe is the distributed edge-chasing detector, installed when
+	// Cfg.Detector selects the probe mode; it steps once per cycle after
+	// channel commits and triggers recovery through OnDeclare.
+	Probe *probe.Engine
 
 	RNG       *sim.RNG
 	nextPktID message.PacketID
@@ -227,7 +233,25 @@ func newBare(cfg Config) (*Network, error) {
 		})
 	}
 	n.attachDetector()
+	n.attachProbe()
 	return n, nil
+}
+
+// attachProbe installs the distributed edge-chasing detector when the
+// configuration selects it; declarations dispatch the same recovery action
+// an endpoint threshold firing would.
+func (n *Network) attachProbe() {
+	if n.Cfg.Detector != DetectorProbe {
+		return
+	}
+	n.Probe = probe.New(n, n.Pool)
+	n.Probe.OnDeclare = func(origin int, now int64) {
+		n.Stats.DetectLatencySum += n.Probe.LastDeclareLatency
+		n.Stats.DetectLatencyCount++
+		if ep, q, ok := n.Probe.Layout().InQueueOf(origin); ok {
+			n.recoverAt(n.NIs[ep], q, now)
+		}
+	}
 }
 
 // build wires routers, channels, and NIs.
@@ -431,10 +455,14 @@ func (n *Network) onTxnComplete(t *protocol.Transaction, now int64) {
 	}
 }
 
-// onDetect dispatches an endpoint detection event to the scheme's recovery
-// action: nothing under SA (its detector can only fire on transient
-// congestion; strict avoidance guarantees eventual progress), deflection
-// under DR, token-capture request under PR.
+// onDetect handles an endpoint threshold firing according to the configured
+// detector mode. In threshold mode (the default) the firing itself is the
+// detection: recovery dispatches immediately, and the sample charged to
+// detection latency is the threshold streak (blocking persisted
+// DetectThreshold+1 cycles before the counter could fire). In cwg mode the
+// firing is only counted — recovery dispatches from scan results instead. In
+// probe mode the firing launches a detection probe from the stalled input
+// queue; recovery waits for a probe to come back around the wait cycle.
 func (n *Network) onDetect(ni *netiface.NI, q int, now int64) {
 	if n.inWindow(now) {
 		n.Stats.DetectEvents++
@@ -443,6 +471,24 @@ func (n *Network) onDetect(ni *netiface.NI, q int, now int64) {
 		n.bus.Emit(obs.Event{Cycle: now, Kind: obs.KindDetect,
 			Node: ni.Cfg.Endpoint, Arg: int64(q)})
 	}
+	switch n.Cfg.Detector {
+	case DetectorCWG:
+		return
+	case DetectorProbe:
+		onset := now - int64(n.Cfg.DetectThreshold) - 1
+		n.Probe.Launch(n.Probe.Layout().InVertex(ni.Cfg.Endpoint, q), onset, now)
+		return
+	}
+	n.Stats.DetectLatencySum += int64(n.Cfg.DetectThreshold) + 1
+	n.Stats.DetectLatencyCount++
+	n.recoverAt(ni, q, now)
+}
+
+// recoverAt dispatches the scheme's recovery action at endpoint queue
+// (ni, q): nothing under SA (its detector can only fire on transient
+// congestion; strict avoidance guarantees eventual progress), deflection
+// under DR, NACK under AB, token-capture request under PR.
+func (n *Network) recoverAt(ni *netiface.NI, q int, now int64) {
 	switch n.Cfg.Scheme {
 	case schemes.DR:
 		n.deflect(ni, q, now)
@@ -659,7 +705,8 @@ func (n *Network) Step() {
 	}
 	now := n.Clock.Now()
 	if n.skipAhead && maskEmpty(n.activeRW) && maskEmpty(n.activeNIW) &&
-		len(n.dirtyCh) == 0 && !n.scanDue(now) {
+		len(n.dirtyCh) == 0 && !n.scanDue(now) &&
+		(n.Probe == nil || n.Probe.Idle()) {
 		n.generate(now)
 		if maskEmpty(n.activeNIW) {
 			if n.Rescue != nil {
@@ -740,6 +787,9 @@ func (n *Network) stepActive(now int64, gen bool) {
 			n.wakeRouter(int(ch.Dst))
 		}
 	}
+	if n.Probe != nil {
+		n.Probe.Step(now)
+	}
 	if n.scanDue(now) {
 		n.scan(now)
 	}
@@ -816,6 +866,9 @@ func (n *Network) stepDense() {
 	}
 	if n.prof != nil {
 		n.prof.Mark(telemetry.PhaseCredit)
+	}
+	if n.Probe != nil {
+		n.Probe.Step(now)
 	}
 	if n.scanDue(now) {
 		n.scan(now)

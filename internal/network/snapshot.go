@@ -8,6 +8,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/message"
 	"repro/internal/netiface"
+	"repro/internal/probe"
 	"repro/internal/protocol"
 	"repro/internal/router"
 	"repro/internal/stats"
@@ -78,6 +79,7 @@ type Snapshot struct {
 	Token    *token.ManagerState
 	Rescue   *core.RescueState
 	Detector *deadlock.DetectorState
+	Probe    *probe.EngineState
 	Source   any
 }
 
@@ -210,6 +212,10 @@ func (n *Network) Snapshot() *Snapshot {
 		st := n.Detector.CaptureState()
 		s.Detector = &st
 	}
+	if n.Probe != nil {
+		st := n.Probe.CaptureState()
+		s.Probe = &st
+	}
 	if n.Source != nil {
 		src, ok := n.Source.(SnapshottableSource)
 		if !ok {
@@ -267,6 +273,9 @@ func (n *Network) Restore(s *Snapshot) {
 	}
 	if n.Detector != nil {
 		n.Detector.RestoreState(*s.Detector)
+	}
+	if n.Probe != nil {
+		n.Probe.RestoreState(*s.Probe)
 	}
 	if n.Source != nil {
 		n.Source.(SnapshottableSource).RestoreSourceState(s.Source)

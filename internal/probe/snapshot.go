@@ -1,0 +1,101 @@
+package probe
+
+import "sort"
+
+// Snapshot/restore support for the model-checking explorer. The engine's
+// mutable state is the per-channel probe queues, the launch records, and the
+// counters; everything else is derived from the immutable host shape. The
+// encoding is canonical — launches sorted by sequence, seen-sets sorted —
+// so two captures of equal engine state compare equal byte-for-byte.
+
+// ProbeRec is one queued probe copy.
+type ProbeRec struct {
+	Origin, Sender, Target int
+	Seq, Born              int64
+}
+
+// LaunchRec is one live detection attempt.
+type LaunchRec struct {
+	Seq         int64
+	Origin      int
+	Outstanding int
+	Seen        []int32
+}
+
+// EngineState is the engine's mutable state.
+type EngineState struct {
+	Seq      int64
+	Chq      [][]ProbeRec
+	Launches []LaunchRec
+
+	Launched, Issued, Retired, Declared, Dropped, FlitsCharged int64
+	DeclareLatencySum, LastDeclareLatency                      int64
+}
+
+// CaptureState snapshots the engine.
+func (e *Engine) CaptureState() EngineState {
+	s := EngineState{
+		Seq: e.seq,
+		Chq: make([][]ProbeRec, len(e.chq)),
+
+		Launched: e.Launched, Issued: e.Issued, Retired: e.Retired,
+		Declared: e.Declared, Dropped: e.Dropped, FlitsCharged: e.FlitsCharged,
+		DeclareLatencySum:  e.DeclareLatencySum,
+		LastDeclareLatency: e.LastDeclareLatency,
+	}
+	for i, q := range e.chq {
+		if len(q) == 0 {
+			continue
+		}
+		recs := make([]ProbeRec, len(q))
+		for j, pr := range q {
+			recs[j] = ProbeRec{Origin: pr.Origin, Sender: pr.Sender, Target: pr.Target, Seq: pr.Seq, Born: pr.Born}
+		}
+		s.Chq[i] = recs
+	}
+	for seq, ln := range e.launches {
+		seen := make([]int32, 0, len(ln.seen))
+		for v := range ln.seen {
+			seen = append(seen, v)
+		}
+		sort.Slice(seen, func(a, b int) bool { return seen[a] < seen[b] })
+		s.Launches = append(s.Launches, LaunchRec{
+			Seq: seq, Origin: ln.origin, Outstanding: ln.outstanding, Seen: seen,
+		})
+	}
+	sort.Slice(s.Launches, func(a, b int) bool { return s.Launches[a].Seq < s.Launches[b].Seq })
+	return s
+}
+
+// RestoreState writes a captured state back, recycling the currently queued
+// probes and rebuilding the queues from the record.
+func (e *Engine) RestoreState(s EngineState) {
+	for i, q := range e.chq {
+		for _, pr := range q {
+			e.pool.PutProbe(pr)
+		}
+		e.chq[i] = q[:0]
+	}
+	e.active = 0
+	for i, recs := range s.Chq {
+		for _, r := range recs {
+			e.chq[i] = append(e.chq[i], e.pool.NewProbe(r.Origin, r.Sender, r.Target, r.Seq, r.Born))
+			e.active++
+		}
+	}
+	e.launches = make(map[int64]*launch, len(s.Launches))
+	e.originActive = make(map[int]int64, len(s.Launches))
+	for _, lr := range s.Launches {
+		ln := &launch{origin: lr.Origin, outstanding: lr.Outstanding, seen: make(map[int32]struct{}, len(lr.Seen))}
+		for _, v := range lr.Seen {
+			ln.seen[v] = struct{}{}
+		}
+		e.launches[lr.Seq] = ln
+		e.originActive[lr.Origin] = lr.Seq
+	}
+	e.seq = s.Seq
+	e.Launched, e.Issued, e.Retired = s.Launched, s.Issued, s.Retired
+	e.Declared, e.Dropped, e.FlitsCharged = s.Declared, s.Dropped, s.FlitsCharged
+	e.DeclareLatencySum = s.DeclareLatencySum
+	e.LastDeclareLatency = s.LastDeclareLatency
+}

@@ -54,6 +54,14 @@ type Collector struct {
 	TokenCaptures int64
 	CWGDeadlocks  int64
 	CWGScans      int64
+
+	// Detection latency per the configured detector mode: cycles from
+	// blocking onset (threshold streak start, previous all-clear scan, or
+	// probe birth) to the event that dispatched recovery. Recorded over the
+	// whole run, not just the measurement window — detection episodes
+	// straddle phase boundaries.
+	DetectLatencySum   int64
+	DetectLatencyCount int64
 }
 
 // NewCollector creates a collector for a network of the given endpoint
@@ -121,6 +129,15 @@ func (c *Collector) AvgLatency() float64 {
 		return 0
 	}
 	return float64(c.LatencySum) / float64(c.LatencyCount)
+}
+
+// AvgDetectLatency returns the mean detection latency in cycles, 0 before
+// the first detection.
+func (c *Collector) AvgDetectLatency() float64 {
+	if c.DetectLatencyCount == 0 {
+		return 0
+	}
+	return float64(c.DetectLatencySum) / float64(c.DetectLatencyCount)
 }
 
 // LatencyP50, LatencyP95 and LatencyP99 return message-latency percentiles

@@ -123,6 +123,11 @@ type Results struct {
 	DetectEvents int64
 	Deflections  int64
 	Rescues      int64
+	// AvgDetectLatency is mean detection latency in cycles under the
+	// configured detector mode (blocking onset to recovery dispatch), with
+	// DetectLatencySamples the number of detections it averages.
+	AvgDetectLatency     float64
+	DetectLatencySamples int64
 	// Deadlocks is the CWG-observed knot count; NormalizedDeadlocks is the
 	// paper's deadlocks-per-delivered-message metric.
 	Deadlocks           int64
@@ -136,21 +141,23 @@ type Results struct {
 func (s *Simulator) Run() Results {
 	st := s.net.Run()
 	return Results{
-		Throughput:          st.Throughput(),
-		AvgLatency:          st.AvgLatency(),
-		LatencyP50:          st.LatencyP50(),
-		LatencyP95:          st.LatencyP95(),
-		LatencyP99:          st.LatencyP99(),
-		AvgTxnLatency:       st.AvgTxnLatency(),
-		DeliveredMessages:   st.DeliveredMsgs,
-		DeliveredFlits:      st.DeliveredFlits,
-		Transactions:        st.TxnCompleted,
-		DetectEvents:        st.DetectEvents,
-		Deflections:         st.Deflections,
-		Rescues:             st.Rescues,
-		Deadlocks:           st.CWGDeadlocks,
-		NormalizedDeadlocks: st.NormalizedDeadlocks(),
-		Drained:             s.net.Quiescent(),
+		Throughput:           st.Throughput(),
+		AvgLatency:           st.AvgLatency(),
+		LatencyP50:           st.LatencyP50(),
+		LatencyP95:           st.LatencyP95(),
+		LatencyP99:           st.LatencyP99(),
+		AvgTxnLatency:        st.AvgTxnLatency(),
+		DeliveredMessages:    st.DeliveredMsgs,
+		DeliveredFlits:       st.DeliveredFlits,
+		Transactions:         st.TxnCompleted,
+		DetectEvents:         st.DetectEvents,
+		Deflections:          st.Deflections,
+		Rescues:              st.Rescues,
+		AvgDetectLatency:     st.AvgDetectLatency(),
+		DetectLatencySamples: st.DetectLatencyCount,
+		Deadlocks:            st.CWGDeadlocks,
+		NormalizedDeadlocks:  st.NormalizedDeadlocks(),
+		Drained:              s.net.Quiescent(),
 	}
 }
 

@@ -114,7 +114,7 @@ func TestExperimentNamesAllDispatchable(t *testing.T) {
 			// error; run the cheapest: skip heavy ones in short mode.
 		}
 	}
-	if len(ExperimentNames) != 11 {
-		t.Fatalf("expected 11 experiments, have %d", len(ExperimentNames))
+	if len(ExperimentNames) != 12 {
+		t.Fatalf("expected 12 experiments, have %d", len(ExperimentNames))
 	}
 }
