@@ -1,0 +1,138 @@
+// Command simring fronts N simserve backends with one consistent-hash
+// coordinator: every spec routes to the shard owning its hash, so each
+// result is computed once cluster-wide and every resubmission — through
+// any path — is a cache hit. The coordinator serves the same API as a
+// single simserve; clients cannot tell one shard from a cluster.
+//
+// Usage:
+//
+//	simring -addr :9000 -backends http://127.0.0.1:9001,http://127.0.0.1:9002
+//
+// Robustness machinery (see internal/cluster):
+//
+//   - active health probes drive a per-backend circuit breaker
+//     (closed → open → half-open); open backends are routed around
+//   - failed submissions retry on the next ring replica with capped
+//     exponential backoff + jitter, honoring backend Retry-After hints
+//   - hedged requests: if the owner has not answered within the observed
+//     p95 submit latency, the same request fires at the ring successor
+//     and the first usable answer wins (safe: results are
+//     content-addressed, both answers are byte-identical)
+//   - graceful degradation: with every replica down, submissions queue
+//     locally and answer 202 + Retry-After; the queue flushes when a
+//     backend recovers, and overflow still answers 429
+//
+// Endpoints: the simserve API (/v1/runs, /v1/sweeps, /metrics, /healthz,
+// /readyz) plus GET /v1/cluster (ring topology, breaker states,
+// degraded-queue depth).
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, the degraded
+// queue is flushed to surviving backends, and in-flight proxied requests
+// finish (up to -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":9000", "listen address")
+		backendList   = flag.String("backends", "", "comma-separated simserve base URLs (required)")
+		replicas      = flag.Int("replicas", 3, "failover/hedge chain length per key (capped at the backend count)")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "health-probe period per backend")
+		breakerTrips  = flag.Int("breaker-threshold", 1, "consecutive failures that open a backend's breaker")
+		breakerOpen   = flag.Duration("breaker-open", 0, "open-breaker window before a half-open trial (0 = 2x probe interval)")
+		maxPasses     = flag.Int("max-passes", 2, "full passes over a key's replica chain before degrading")
+		hedgeMin      = flag.Duration("hedge-min", 10*time.Millisecond, "lower clamp on the p95-derived hedge delay")
+		hedgeMax      = flag.Duration("hedge-max", time.Second, "upper clamp on the p95-derived hedge delay")
+		noHedge       = flag.Bool("no-hedge", false, "disable hedged requests")
+		queueDepth    = flag.Int("queue", 64, "degraded-mode local queue depth (overflow gets HTTP 429)")
+		clientTimeout = flag.Duration("client-timeout", 30*time.Second, "per-proxied-request timeout")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget")
+		version       = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("simring"))
+		return
+	}
+	if *backendList == "" {
+		fatal(errors.New("-backends is required (comma-separated simserve URLs)"))
+	}
+	backends := strings.Split(*backendList, ",")
+	for i := range backends {
+		backends[i] = strings.TrimRight(strings.TrimSpace(backends[i]), "/")
+		if backends[i] == "" {
+			fatal(errors.New("-backends contains an empty entry"))
+		}
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Backends:         backends,
+		Replicas:         *replicas,
+		ProbeInterval:    *probeInterval,
+		BreakerThreshold: *breakerTrips,
+		BreakerOpenFor:   *breakerOpen,
+		MaxPasses:        *maxPasses,
+		HedgeMin:         *hedgeMin,
+		HedgeMax:         *hedgeMax,
+		DisableHedge:     *noHedge,
+		QueueDepth:       *queueDepth,
+		Client:           &http.Client{Timeout: *clientTimeout},
+	})
+	fatal(err)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           coord,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("simring: listening on %s, %d backends, %d replicas per key",
+		*addr, len(backends), *replicas)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new submissions, flush the degraded queue to
+	// whatever backends remain, let in-flight proxied requests finish.
+	log.Printf("simring: shutdown signal; draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := coord.Drain(drainCtx); err != nil {
+		log.Printf("simring: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("simring: http shutdown: %v", err)
+	}
+	log.Printf("simring: done")
+}
+
+func fatal(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "simring:", err)
+		os.Exit(1)
+	}
+}

@@ -15,7 +15,12 @@
 //	POST /v1/sweeps    expand a load-rate range into one job per rate
 //	GET  /metrics      Prometheus text exposition (JSON via Accept header)
 //	GET  /metrics.json queue depth, cache counters, latency percentiles
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness (200 while the process serves at all)
+//	GET  /readyz       readiness (503 while draining or queue-saturated)
+//
+// With -peers, the shard consults its ring peers' content-addressed
+// caches (GET /v1/runs/{hash}) before simulating a local miss — see
+// cmd/simring for the coordinator that fronts a set of such shards.
 //
 // With -debug-addr, net/http/pprof is served on a separate private
 // listener.
@@ -35,9 +40,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/simsvc"
 	"repro/internal/telemetry"
@@ -54,6 +61,8 @@ func main() {
 		jobRetries   = flag.Int("job-retries", 2, "re-executions of a job failing with a transient error")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for accepted jobs")
 		tracePath    = flag.String("trace", "", "append job lifecycle and simulation events as JSONL to this file")
+		peerList     = flag.String("peers", "", "comma-separated peer simserve base URLs consulted for cached results before simulating")
+		peerTimeout  = flag.Duration("peer-timeout", 2*time.Second, "per-peer timeout for cache fill-over lookups")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 		version      = flag.Bool("version", false, "print version and exit")
 	)
@@ -87,6 +96,19 @@ func main() {
 		bus = obs.NewBus(traceSink)
 	}
 
+	// In a ring deployment each shard names its peers: on a local cache
+	// miss the content-addressed GET /v1/runs/{hash} on a peer may already
+	// hold the (byte-identical) result, saving a simulation.
+	var peerFill func(context.Context, string) ([]byte, bool)
+	if *peerList != "" {
+		peers := strings.Split(*peerList, ",")
+		for i := range peers {
+			peers[i] = strings.TrimRight(strings.TrimSpace(peers[i]), "/")
+		}
+		peerFill = cluster.PeerFiller(peers, *peerTimeout)
+		log.Printf("simserve: cache fill-over from peers %v", peers)
+	}
+
 	sched := simsvc.NewScheduler(simsvc.SchedConfig{
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
@@ -94,6 +116,7 @@ func main() {
 		MaxRetries: *jobRetries,
 		Store:      store,
 		Bus:        bus,
+		PeerFill:   peerFill,
 	})
 	srv := &http.Server{
 		Addr:    *addr,

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused locally until the open window
+	// elapses, giving the backend room to recover.
+	BreakerOpen
+	// BreakerHalfOpen: one trial request is allowed through; its outcome
+	// closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-backend closed → open → half-open circuit breaker. Both
+// the health prober and live request outcomes feed it; Allow gates both.
+// The zero value is not usable — use newBreaker.
+type Breaker struct {
+	threshold int           // consecutive failures to trip open
+	openFor   time.Duration // how long open before probing half-open
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive, while closed
+	openedAt time.Time // last transition to open
+	trialOut bool      // a half-open trial is in flight
+	onChange func(from, to BreakerState)
+}
+
+func newBreaker(threshold int, openFor time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: now}
+}
+
+// Allow reports whether a request may be sent. While open it flips to
+// half-open once the window has elapsed and admits exactly one trial; the
+// trial's ReportSuccess/ReportFailure decides what happens next.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.trialOut = true
+		return true
+	default: // half-open
+		if b.trialOut {
+			return false
+		}
+		b.trialOut = true
+		return true
+	}
+}
+
+// ReportSuccess records a successful probe or request: a half-open trial
+// success closes the circuit; while closed it resets the failure streak.
+func (b *Breaker) ReportSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.trialOut = false
+	if b.state != BreakerClosed {
+		b.transition(BreakerClosed)
+	}
+}
+
+// ReportFailure records a failed probe or request: a half-open trial
+// failure re-opens immediately; while closed, the threshold-th consecutive
+// failure trips the circuit.
+func (b *Breaker) ReportFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trialOut = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	default: // already open: refresh the window so a failing trial path
+		// does not flap
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current position (open flips to half-open lazily in
+// Allow, so a long-idle open breaker still reads as open here).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transition flips state and fires the change hook; callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker windows without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := newBreaker(3, time.Second, clk.now)
+	b.onChange = func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	}
+
+	// Closed: failures below the threshold keep it closed; a success
+	// resets the streak.
+	for i := 0; i < 2; i++ {
+		b.ReportFailure()
+	}
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatalf("below threshold: state %v", b.State())
+	}
+	b.ReportSuccess()
+	for i := 0; i < 2; i++ {
+		b.ReportFailure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+
+	// The threshold-th consecutive failure trips it open.
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("at threshold: state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside its window")
+	}
+
+	// After the window: half-open, exactly one trial.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the half-open trial after its window")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent trial")
+	}
+
+	// Trial failure re-opens; trial success closes.
+	b.ReportFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed trial: state %v, want open", b.State())
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no trial after re-open window")
+	}
+	b.ReportSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("successful trial: state %v, want closed", b.State())
+	}
+
+	want := []string{"closed>open", "open>half-open", "half-open>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerSuccessWhileClosedIsQuiet(t *testing.T) {
+	b := newBreaker(1, time.Second, nil)
+	fired := 0
+	b.onChange = func(_, _ BreakerState) { fired++ }
+	for i := 0; i < 5; i++ {
+		b.ReportSuccess()
+	}
+	if fired != 0 {
+		t.Fatalf("closed->closed successes fired %d transitions", fired)
+	}
+}

@@ -1,0 +1,525 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/simsvc"
+	"repro/internal/telemetry"
+)
+
+// The coordinator serves the same API surface as a single simserve — a
+// client cannot tell one shard from a cluster:
+//
+//	POST /v1/runs      route by spec hash; hedged + re-routed as needed
+//	GET  /v1/runs/{id} poll a coordinator job (r-NNNNNN) or fetch a cached
+//	                   result content-addressed by 16-hex spec hash
+//	POST /v1/sweeps    expand the rate ladder and scatter each point to the
+//	                   shard owning its spec hash
+//	GET  /v1/cluster   ring topology, breaker states, degraded-queue depth
+//	GET  /metrics      Prometheus text exposition
+//	GET  /metrics.json the /v1/cluster document (JSON scrapers)
+//	GET  /healthz      coordinator liveness
+//	GET  /readyz       503 while draining or with zero live backends
+func (c *Coordinator) routes() {
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleGet)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweep)
+	c.mux.HandleFunc("GET /v1/cluster", c.handleCluster)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /metrics.json", c.handleCluster)
+	c.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		c.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"}, 0)
+	})
+	c.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Draining() {
+			c.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "not ready: draining"}, c.defaultRetryAfter())
+			return
+		}
+		if c.LiveBackends() == 0 {
+			c.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "not ready: no live backends"}, c.defaultRetryAfter())
+			return
+		}
+		c.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"}, 0)
+	})
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP stamps/propagates the request ID (the same ID travels the
+// proxied hop, so one trace line joins client → coordinator → shard), then
+// routes, logs, and counts.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = telemetry.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", rid)
+	r = r.WithContext(telemetry.WithRequestID(r.Context(), rid))
+
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	c.mux.ServeHTTP(rec, r)
+
+	elapsed := time.Since(start)
+	c.m.requests.With(r.Method, routeOf(r.URL.Path), strconv.Itoa(rec.status)).Inc()
+	c.m.duration.Observe(elapsed.Seconds())
+	c.cfg.Logger.Printf("simring: %s %s %s %d %s req=%s",
+		r.RemoteAddr, r.Method, r.URL.Path, rec.status,
+		elapsed.Round(time.Microsecond), rid)
+}
+
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/runs" || path == "/v1/sweeps" || path == "/v1/cluster" ||
+		path == "/metrics" || path == "/metrics.json" ||
+		path == "/healthz" || path == "/readyz":
+		return path
+	case strings.HasPrefix(path, "/v1/runs/"):
+		return "/v1/runs/{id}"
+	default:
+		return "other"
+	}
+}
+
+// defaultRetryAfter is the hint when no backend supplied one: one probe
+// interval, rounded up — the soonest the cluster's view of itself can
+// change.
+func (c *Coordinator) defaultRetryAfter() int {
+	s := int((c.cfg.ProbeInterval + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any, retryAfter int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		c.cfg.Logger.Printf("simring: encode %d response: %v", status, err)
+	}
+}
+
+// writeRaw passes a backend response through unmodified.
+func (c *Coordinator) writeRaw(w http.ResponseWriter, status int, body []byte, retryAfter int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+const maxBodyBytes = 1 << 20
+
+// readSpec validates the submitted spec and returns its canonical hash
+// plus the body forwarded to backends. The forwarded body is the client's
+// original bytes, NOT a re-marshal of the normalized spec: normalization
+// maps sentinels onto zero values (warmup:-1 → 0) that omitempty would
+// drop, and the backend would re-normalize the omission into a different
+// default — silently changing the spec and its hash. Both sides instead
+// run the identical Normalize(original) computation, so the coordinator's
+// routing hash and every backend's job hash agree.
+func readSpec(r *http.Request, w http.ResponseWriter) (hash string, body []byte, err error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body, err = io.ReadAll(r.Body)
+	if err != nil {
+		return "", nil, fmt.Errorf("bad spec: %w", err)
+	}
+	var spec simsvc.RunSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return "", nil, fmt.Errorf("bad spec: %w", err)
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		return "", nil, err
+	}
+	return norm.Hash(), body, nil
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		c.writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: "simring: coordinator draining"}, c.defaultRetryAfter())
+		return
+	}
+	hash, body, err := readSpec(r, w)
+	if err != nil {
+		c.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()}, 0)
+		return
+	}
+	reqID := telemetry.RequestID(r.Context())
+
+	o := c.submit(r.Context(), hash, body, reqID)
+	if o.usable() {
+		if o.status != http.StatusOK && o.status != http.StatusAccepted {
+			// Definitive non-acceptance (400 and friends): pass through.
+			c.writeRaw(w, o.status, o.body, 0)
+			return
+		}
+		v, _, err := c.adoptJobView(o, hash, body, reqID)
+		if err != nil {
+			c.writeJSON(w, http.StatusBadGateway,
+				apiError{Error: "simring: bad backend response: " + err.Error()}, 0)
+			return
+		}
+		c.writeJSON(w, o.status, v, 0)
+		return
+	}
+
+	// Every replica is down, open, or saturated: degrade instead of
+	// erroring. The local queue preserves the accepted-work guarantee;
+	// its overflow preserves the 429 contract.
+	retryAfter := o.retryAfter
+	if retryAfter <= 0 {
+		retryAfter = c.defaultRetryAfter()
+	}
+	c.mu.Lock()
+	if len(c.pending) >= c.cfg.QueueDepth {
+		c.mu.Unlock()
+		c.writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: "simring: cluster saturated and degraded queue full"}, retryAfter)
+		return
+	}
+	j := c.register(hash, body, reqID, -1, "")
+	c.mu.Unlock()
+	c.m.degradedEnqueued.Inc()
+	c.cfg.Logger.Printf("simring: degraded: queued %s (hash=%s) locally", j.id, hash)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	c.writeJSON(w, http.StatusAccepted, c.pendingView(j), 0)
+}
+
+// adoptJobView records an accepted backend job under a coordinator-minted
+// ID and rewrites the view so the client polls the coordinator, not the
+// shard.
+func (c *Coordinator) adoptJobView(o outcome, hash string, body []byte, reqID string) (simsvc.JobView, *coordJob, error) {
+	var v simsvc.JobView
+	if err := json.Unmarshal(o.body, &v); err != nil {
+		return v, nil, err
+	}
+	c.mu.Lock()
+	j := c.register(hash, body, reqID, o.b.idx, v.ID)
+	if v.Status == simsvc.StatusDone || v.Status == simsvc.StatusFailed {
+		j.done = true
+	}
+	c.mu.Unlock()
+	v.ID = j.id
+	return v, j, nil
+}
+
+// pendingView synthesizes the queued JobView for a degraded job. Callers
+// need not hold c.mu (fields used are written once at registration).
+func (c *Coordinator) pendingView(j *coordJob) simsvc.JobView {
+	var spec simsvc.RunSpec
+	json.Unmarshal(j.body, &spec)
+	return simsvc.JobView{
+		ID:        j.id,
+		SpecHash:  j.hash,
+		Spec:      spec,
+		Status:    simsvc.StatusQueued,
+		RequestID: j.reqID,
+	}
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	reqID := telemetry.RequestID(r.Context())
+
+	if simsvc.IsSpecHash(id) {
+		// Content-addressed: any replica's copy is the answer.
+		for _, b := range c.chain(id) {
+			if b.breaker.State() == BreakerOpen {
+				continue
+			}
+			status, body, err := c.proxyGet(r, b, "/v1/runs/"+id, reqID)
+			if err == nil && status == http.StatusOK {
+				c.writeRaw(w, status, body, 0)
+				return
+			}
+		}
+		c.writeJSON(w, http.StatusNotFound, apiError{Error: "no cached result for spec " + id}, 0)
+		return
+	}
+
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	var bIdx int
+	var backendJobID string
+	if ok {
+		bIdx, backendJobID = j.backendIdx, j.backendJobID
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id}, 0)
+		return
+	}
+
+	if bIdx < 0 {
+		// Still in the degraded queue.
+		c.writeJSON(w, http.StatusOK, c.pendingView(j), 0)
+		return
+	}
+
+	status, body, err := c.proxyGet(r, c.backends[bIdx], "/v1/runs/"+backendJobID, reqID)
+	if err == nil && status == http.StatusOK {
+		var v simsvc.JobView
+		if uerr := json.Unmarshal(body, &v); uerr == nil {
+			if v.Status == simsvc.StatusDone || v.Status == simsvc.StatusFailed {
+				c.mu.Lock()
+				j.done = true
+				c.mu.Unlock()
+			}
+			v.ID = j.id
+			c.writeJSON(w, http.StatusOK, v, 0)
+			return
+		}
+	}
+
+	// The shard that accepted this job is unreachable (or restarted and
+	// forgot it). The job is NOT lost: results are content-addressed, so
+	// first look for the payload on any replica, and failing that replay
+	// the retained spec body onto a live shard under the same coordinator
+	// ID.
+	c.backends[bIdx].breaker.ReportFailure()
+	for _, b := range c.chain(j.hash) {
+		if b.breaker.State() == BreakerOpen {
+			continue
+		}
+		s, cb, err := c.proxyGet(r, b, "/v1/runs/"+j.hash, reqID)
+		if err != nil || s != http.StatusOK {
+			continue
+		}
+		var cv simsvc.CachedView
+		if json.Unmarshal(cb, &cv) != nil {
+			continue
+		}
+		var spec simsvc.RunSpec
+		json.Unmarshal(j.body, &spec)
+		c.mu.Lock()
+		j.done = true
+		c.mu.Unlock()
+		c.writeJSON(w, http.StatusOK, simsvc.JobView{
+			ID: j.id, SpecHash: j.hash, Spec: spec,
+			Status: simsvc.StatusDone, Cached: true,
+			RequestID: j.reqID, Result: cv.Result,
+		}, 0)
+		return
+	}
+
+	o := c.placeOnce(r.Context(), j)
+	if o.usable() && o.status != http.StatusBadRequest {
+		c.m.resurrected.Inc()
+		c.cfg.Logger.Printf("simring: job %s resurrected after backend loss", j.id)
+		var v simsvc.JobView
+		if json.Unmarshal(o.body, &v) == nil {
+			v.ID = j.id
+			c.writeJSON(w, http.StatusOK, v, 0)
+			return
+		}
+	}
+
+	// Nowhere to place it right now: move it (back) into the degraded
+	// queue and report it queued — accepted work is never dropped.
+	c.mu.Lock()
+	if j.backendIdx >= 0 {
+		j.backendIdx, j.backendJobID = -1, ""
+		c.pending = append(c.pending, j.id)
+		c.m.degradedEnqueued.Inc()
+	}
+	c.mu.Unlock()
+	c.writeJSON(w, http.StatusOK, c.pendingView(j), 0)
+}
+
+// proxyGet forwards one GET to a backend, propagating the request ID.
+func (c *Coordinator) proxyGet(r *http.Request, b *backend, path, reqID string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.m.proxied.With(b.url, "error").Inc()
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		c.m.proxied.With(b.url, "error").Inc()
+		return 0, nil, err
+	}
+	c.m.proxied.With(b.url, strconv.Itoa(resp.StatusCode)).Inc()
+	return resp.StatusCode, body, nil
+}
+
+// sweepResponse mirrors the single-shard sweep response shape.
+type sweepResponse struct {
+	Jobs []sweepEntry `json:"jobs"`
+}
+
+type sweepEntry struct {
+	Rate  float64 `json:"rate"`
+	ID    string  `json:"id,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// handleSweep expands the rate ladder locally and scatters each point to
+// the shard owning its spec hash. Unlike a single shard — where one full
+// queue fails the whole suffix — points route to different shards, so each
+// is attempted: entries carry per-point errors and the response status is
+// 202 if anything was accepted.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		c.writeJSON(w, http.StatusServiceUnavailable,
+			apiError{Error: "simring: coordinator draining"}, c.defaultRetryAfter())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req simsvc.SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.writeJSON(w, http.StatusBadRequest, apiError{Error: "bad sweep: " + err.Error()}, 0)
+		return
+	}
+	if req.Spec.TraceApp != "" {
+		c.writeJSON(w, http.StatusBadRequest,
+			apiError{Error: "simsvc: trace runs have no load rate to sweep"}, 0)
+		return
+	}
+	rates, err := req.Expand()
+	if err != nil {
+		c.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()}, 0)
+		return
+	}
+	reqID := telemetry.RequestID(r.Context())
+	resp := sweepResponse{Jobs: make([]sweepEntry, 0, len(rates))}
+	accepted := 0
+	worst := http.StatusAccepted
+	for _, rate := range rates {
+		spec := req.Spec
+		spec.Rate = rate
+		norm, err := spec.Normalized()
+		if err != nil {
+			resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, Error: err.Error()})
+			worst = http.StatusBadRequest
+			continue
+		}
+		// Marshal the pre-normalization spec: sentinel values (warmup:-1)
+		// survive this round-trip, where a normalized spec's zeros would be
+		// dropped by omitempty and re-defaulted differently by the backend.
+		body, _ := json.Marshal(spec)
+		o := c.submit(r.Context(), norm.Hash(), body, reqID)
+		if !o.usable() || (o.status != http.StatusOK && o.status != http.StatusAccepted) {
+			msg := "unreachable"
+			if o.err != nil {
+				msg = o.err.Error()
+			} else if o.status != 0 {
+				msg = fmt.Sprintf("HTTP %d", o.status)
+			}
+			resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, Error: msg})
+			if o.status == http.StatusTooManyRequests {
+				worst = http.StatusTooManyRequests
+			}
+			continue
+		}
+		_, j, err := c.adoptJobView(o, norm.Hash(), body, reqID)
+		if err != nil {
+			resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, Error: err.Error()})
+			continue
+		}
+		accepted++
+		resp.Jobs = append(resp.Jobs, sweepEntry{Rate: rate, ID: j.id})
+	}
+	status := http.StatusAccepted
+	if accepted == 0 {
+		status = worst
+		if status == http.StatusAccepted {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	ra := 0
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		ra = c.defaultRetryAfter()
+	}
+	c.writeJSON(w, status, resp, ra)
+}
+
+// ClusterStatus is the /v1/cluster document.
+type ClusterStatus struct {
+	Backends      []BackendStatus `json:"backends"`
+	Replicas      int             `json:"replicas"`
+	LiveBackends  int             `json:"live_backends"`
+	DegradedQueue int             `json:"degraded_queue"`
+	Draining      bool            `json:"draining"`
+	HedgeDelayMS  float64         `json:"hedge_delay_ms"`
+	JobsTracked   int             `json:"jobs_tracked"`
+}
+
+// BackendStatus is one ring member's view.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Breaker string `json:"breaker"`
+}
+
+func (c *Coordinator) status() ClusterStatus {
+	st := ClusterStatus{
+		Replicas:     c.cfg.Replicas,
+		HedgeDelayMS: float64(c.hedgeDelay()) / float64(time.Millisecond),
+	}
+	for _, b := range c.backends {
+		s := b.breaker.State()
+		st.Backends = append(st.Backends, BackendStatus{URL: b.url, Breaker: s.String()})
+		if s != BreakerOpen {
+			st.LiveBackends++
+		}
+	}
+	c.mu.Lock()
+	st.DegradedQueue = len(c.pending)
+	st.Draining = c.draining
+	st.JobsTracked = len(c.jobs)
+	c.mu.Unlock()
+	return st
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	c.writeJSON(w, http.StatusOK, c.status(), 0)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		c.handleCluster(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := c.reg.WritePrometheus(w); err != nil {
+		c.cfg.Logger.Printf("simring: write metrics: %v", err)
+	}
+}

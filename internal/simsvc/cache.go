@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -138,16 +139,24 @@ type flightCall struct {
 }
 
 // do invokes fn once per key at a time; shared reports whether this caller
-// piggybacked on another's execution.
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (payload []byte, err error, shared bool) {
+// piggybacked on another's execution. A waiter whose ctx is cancelled stops
+// waiting and gets ctx.Err(), but the execution it piggybacked on is NOT
+// cancelled: it keeps running for the remaining waiters and still populates
+// the cache. This is what makes hedged requests safe — cancelling the losing
+// hedge abandons only that caller's wait, never the shared run.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]byte, error)) (payload []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
 	}
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.payload, c.err, true
+		select {
+		case <-c.done:
+			return c.payload, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c

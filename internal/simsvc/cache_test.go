@@ -91,7 +91,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		p, err, _ := g.do("k", func() ([]byte, error) {
+		p, err, _ := g.do(context.Background(), "k", func() ([]byte, error) {
 			calls++
 			close(started)
 			<-release
@@ -107,7 +107,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	// entered do; the duplicate lookup happens under g.mu before the first
 	// call can complete and deregister, so the dup is guaranteed to share.
 	time.AfterFunc(50*time.Millisecond, func() { close(release) })
-	p, err, shared := g.do("k", func() ([]byte, error) {
+	p, err, shared := g.do(context.Background(), "k", func() ([]byte, error) {
 		t.Error("second fn invoked despite in-flight call")
 		return nil, nil
 	})
@@ -252,4 +252,76 @@ func waitDone(t *testing.T, sched *Scheduler, id string) JobView {
 	}
 	t.Fatalf("job %s did not finish", id)
 	return JobView{}
+}
+
+// TestFlightGroupWaiterCancellation guards the hedging path: cancelling a
+// hedged request abandons one coalesced waiter mid-execution. The shared run
+// must be unaffected — the cancelled waiter gets ctx.Err() promptly, the
+// remaining waiters still receive the result, and the cache is still
+// populated by the run they piggybacked on.
+func TestFlightGroupWaiterCancellation(t *testing.T) {
+	var g flightGroup
+	store, err := NewStore(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			store.Put("k", []byte("payload"))
+			return []byte("payload"), nil
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	dupFn := func() ([]byte, error) {
+		t.Error("duplicate fn invoked despite in-flight call")
+		return nil, nil
+	}
+
+	// One waiter that will cancel mid-execution, one that stays.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelledErr := make(chan error, 1)
+	go func() {
+		_, err, shared := g.do(ctx, "k", dupFn)
+		if !shared {
+			t.Error("cancelling waiter did not coalesce")
+		}
+		cancelledErr <- err
+	}()
+	stayedPayload := make(chan []byte, 1)
+	go func() {
+		p, err, shared := g.do(context.Background(), "k", dupFn)
+		if err != nil || !shared {
+			t.Errorf("surviving waiter: err=%v shared=%v, want nil/true", err, shared)
+		}
+		stayedPayload <- p
+	}()
+
+	// Both waiters are inside do well before the run is released (same
+	// timing idiom as TestFlightGroupCoalesces): the leader holds the key
+	// until release, so anything entering earlier coalesces.
+	time.AfterFunc(50*time.Millisecond, cancel)
+	if err := <-cancelledErr; err != context.Canceled {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	// The cancelled waiter returned while the run is still in flight; only
+	// now let it finish.
+	close(release)
+
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("shared run failed after waiter cancellation: %v", err)
+	}
+	if p := <-stayedPayload; !bytes.Equal(p, []byte("payload")) {
+		t.Fatalf("surviving waiter payload %q, want %q", p, "payload")
+	}
+	if p, ok := store.Get("k"); !ok || !bytes.Equal(p, []byte("payload")) {
+		t.Fatalf("cache not populated after waiter cancellation: %q %v", p, ok)
+	}
 }

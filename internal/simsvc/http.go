@@ -18,14 +18,19 @@ import (
 //
 //	POST /v1/runs      submit one RunSpec; 200 on a cache hit, 202 when
 //	                   queued, 400 on an invalid spec, 429 when the queue is
-//	                   full, 503 while draining (both carry Retry-After)
+//	                   full, 503 while draining (both carry a Retry-After
+//	                   derived from queue depth × observed p50 job latency)
 //	GET  /v1/runs/{id} fetch a job (result payload and span timings included
-//	                   once done)
+//	                   once done); a 16-hex spec hash instead of a job ID is
+//	                   the content-addressed read path — 200 with the cached
+//	                   result or 404, used for cross-shard cache fill
 //	POST /v1/sweeps    expand a load-rate range into one job per rate
 //	GET  /metrics      Prometheus text exposition (JSON via Accept:
 //	                   application/json)
 //	GET  /metrics.json the JSON metrics document
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness: 200 while the process serves at all
+//	GET  /readyz       readiness: 503 while draining or queue-saturated, so
+//	                   load balancers stop routing here before requests fail
 //
 // Every response carries an X-Request-ID header — echoing the client's, or
 // minted here — and the same ID is propagated through the request context
@@ -58,6 +63,13 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := s.sched.Ready(); !ok {
+			s.writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "not ready: " + reason})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return s
 }
@@ -117,7 +129,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func routeOf(path string) string {
 	switch {
 	case path == "/v1/runs" || path == "/v1/sweeps" || path == "/metrics" ||
-		path == "/metrics.json" || path == "/healthz":
+		path == "/metrics.json" || path == "/healthz" || path == "/readyz":
 		return path
 	case strings.HasPrefix(path, "/v1/runs/"):
 		return "/v1/runs/{id}"
@@ -137,15 +149,14 @@ type apiError struct {
 // connection and buffering without limit.
 const maxBodyBytes = 1 << 20
 
-// retryAfterSeconds is the backoff hint attached to 429/503 responses: long
-// enough for a queue slot to open at typical job times, short enough that a
-// drained-and-restarted server is retried promptly.
-const retryAfterSeconds = 1
-
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		// The hint tracks reality — queue depth × observed p50 job latency,
+		// clamped to [1, 30]s — so clients (and the ring coordinator, which
+		// honors it when scheduling retries) back off proportionally to the
+		// actual backlog instead of polling a saturated queue every second.
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
 	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -192,18 +203,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, status, job)
 }
 
+// CachedView is the body of a content-addressed GET /v1/runs/{hash}: the
+// cached Result for a spec hash with no job identity attached. Peers use it
+// to fill their caches cross-shard; any shard's copy is byte-equivalent.
+type CachedView struct {
+	SpecHash string          `json:"spec_hash"`
+	Status   Status          `json:"status"`
+	Cached   bool            `json:"cached"`
+	Result   json.RawMessage `json:"result"`
+}
+
+// IsSpecHash reports whether id is shaped like a spec hash (16 lowercase
+// hex digits) rather than a job ID (j-NNNNNN), selecting the
+// content-addressed read path in handleGet.
+func IsSpecHash(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.sched.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if IsSpecHash(id) {
+		payload, ok := s.sched.CachedResult(id)
+		if !ok {
+			s.writeJSON(w, http.StatusNotFound, apiError{Error: "no cached result for spec " + id})
+			return
+		}
+		s.writeJSON(w, http.StatusOK, CachedView{
+			SpecHash: id, Status: StatusDone, Cached: true, Result: payload,
+		})
+		return
+	}
+	job, ok := s.sched.Job(id)
 	if !ok {
-		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		s.writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, job)
 }
 
-// sweepRequest expands into one job per applied-load rate: either an
+// SweepRequest expands into one job per applied-load rate: either an
 // explicit rate list, or a [from, to] range divided into steps points.
-type sweepRequest struct {
+// Exported so the ring coordinator can expand a sweep itself and scatter
+// each point to the shard that owns its spec hash.
+type SweepRequest struct {
 	Spec  RunSpec   `json:"spec"`
 	Rates []float64 `json:"rates,omitempty"`
 	From  float64   `json:"from,omitempty"`
@@ -211,8 +262,8 @@ type sweepRequest struct {
 	Steps int       `json:"steps,omitempty"`
 }
 
-// expand resolves the rate ladder.
-func (r sweepRequest) expand() ([]float64, error) {
+// Expand resolves the rate ladder.
+func (r SweepRequest) Expand() ([]float64, error) {
 	if len(r.Rates) > 0 {
 		if r.From != 0 || r.To != 0 || r.Steps != 0 {
 			return nil, fmt.Errorf("simsvc: give either rates or from/to/steps, not both")
@@ -248,7 +299,7 @@ type sweepEntry struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var req sweepRequest
+	var req SweepRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -259,7 +310,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: "simsvc: trace runs have no load rate to sweep"})
 		return
 	}
-	rates, err := req.expand()
+	rates, err := req.Expand()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return

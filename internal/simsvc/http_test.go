@@ -365,8 +365,10 @@ func TestHTTPRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") != "1" {
-		t.Errorf("429 Retry-After %q, want \"1\"", resp.Header.Get("Retry-After"))
+	// The hint is derived from the backlog: one running plus one queued job
+	// at the assumed 1s p50 (no job has completed yet) rounds up to 2s.
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("429 Retry-After %q, want \"2\"", resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -68,6 +68,15 @@ func newMetricsRegistry(sched *Scheduler) (*telemetry.Registry, *httpMetrics) {
 		read(func(m Metrics) float64 { return float64(m.Cache.Coalesced) }))
 	reg.CounterFunc("simsvc_cache_executed_total", "Real simulations executed.",
 		read(func(m Metrics) float64 { return float64(m.Cache.Executed) }))
+	reg.CounterFunc("simsvc_cache_peer_fills_total", "Misses answered by a peer shard's cache.",
+		read(func(m Metrics) float64 { return float64(m.Cache.PeerFills) }))
+	reg.GaugeFunc("simsvc_ready", "1 while /readyz reports ready (not draining, queue not saturated).",
+		func() float64 {
+			if ok, _ := sched.Ready(); ok {
+				return 1
+			}
+			return 0
+		})
 	reg.GaugeFunc("simsvc_cache_entries", "Result payloads held in the in-memory LRU.",
 		read(func(m Metrics) float64 { return float64(m.Cache.Entries) }))
 

@@ -60,6 +60,12 @@ type SchedConfig struct {
 	// RetryBase is the first retry's backoff; successive retries double it
 	// up to a cap, each with random jitter (default 50ms).
 	RetryBase time.Duration
+	// PeerFill, when non-nil, is consulted on a cache miss before
+	// simulating: given a spec hash it may return the marshalled Result a
+	// peer shard already computed (results are content-addressed and
+	// byte-deterministic, so any peer's answer is THE answer). A peer hit
+	// is stored locally and served without executing.
+	PeerFill func(ctx context.Context, hash string) ([]byte, bool)
 }
 
 // MarkTransient wraps err so the scheduler's retry policy recognizes it as
@@ -157,6 +163,7 @@ type Scheduler struct {
 	coalesce int64
 	executed int64
 	retried  int64
+	peerFill int64
 	latency  *stats.LatencyHist
 }
 
@@ -247,6 +254,53 @@ func (s *Scheduler) register(j *job) {
 	s.jobs[j.id] = j
 }
 
+// Ready reports whether the scheduler can usefully accept new work right
+// now, with a human-readable reason when it cannot. Distinct from liveness:
+// a draining or queue-saturated scheduler is alive (healthz stays 200) but
+// not ready — a cluster coordinator uses this to stop routing to it instead
+// of burning retries on 429/503 responses.
+func (s *Scheduler) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, "draining"
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return false, "queue saturated"
+	}
+	return true, ""
+}
+
+// RetryAfterSeconds is the backoff hint attached to 429/503 responses:
+// current queue depth (waiting plus running) times the observed p50 job
+// latency, clamped to [1, 30] seconds — i.e. roughly how long until the
+// backlog ahead of a retry has drained. Before any job has completed the
+// p50 is unknown and assumed to be one second.
+func (s *Scheduler) RetryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p50us := s.latency.P50()
+	if p50us <= 0 {
+		p50us = 1_000_000
+	}
+	depth := int64(len(s.queue) + s.running)
+	secs := (depth*p50us + 999_999) / 1_000_000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
+}
+
+// CachedResult returns the marshalled Result payload cached for a spec
+// hash, if any — the content-addressed read path peers and coordinators use
+// for cross-shard cache fill without knowing job IDs.
+func (s *Scheduler) CachedResult(hash string) ([]byte, bool) {
+	return s.cfg.Store.Get(hash)
+}
+
 // Job returns a snapshot of one job.
 func (s *Scheduler) Job(id string) (JobView, bool) {
 	s.mu.Lock()
@@ -327,7 +381,7 @@ func (s *Scheduler) runJob(j *job) {
 	} else {
 		var err error
 		flightStart := time.Now()
-		payload, err, sharedRun = s.flight.do(j.hash, func() ([]byte, error) {
+		payload, err, sharedRun = s.flight.do(s.baseCtx, j.hash, func() ([]byte, error) {
 			ctx := telemetry.WithSpans(s.baseCtx, j.spans)
 			ctx = telemetry.WithRequestID(ctx, j.reqID)
 			var cancel context.CancelFunc = func() {}
@@ -335,6 +389,21 @@ func (s *Scheduler) runJob(j *job) {
 				ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			}
 			defer cancel()
+			if s.cfg.PeerFill != nil {
+				fillStart := time.Now()
+				p, ok := s.cfg.PeerFill(ctx, j.hash)
+				j.spans.Add("peer-fill", time.Since(fillStart))
+				if ok {
+					s.mu.Lock()
+					s.peerFill++
+					s.mu.Unlock()
+					if err := s.cfg.Store.Put(j.hash, p); err != nil {
+						s.emitJob(obs.KindJobDone, j, "disk-write-failed: "+err.Error())
+					}
+					s.emitJob(obs.KindJobStart, j, "peer-fill hit")
+					return p, nil
+				}
+			}
 			s.mu.Lock()
 			s.executed++
 			s.mu.Unlock()
@@ -527,6 +596,9 @@ type Metrics struct {
 		Misses    int64 `json:"misses"`
 		Coalesced int64 `json:"coalesced"`
 		Executed  int64 `json:"executed"`
+		// PeerFills counts misses answered by a peer shard's cache instead
+		// of a local simulation.
+		PeerFills int64 `json:"peer_fills"`
 		Entries   int   `json:"entries"`
 	} `json:"cache"`
 
@@ -559,6 +631,7 @@ func (s *Scheduler) Metrics() Metrics {
 	m.Cache.Misses = s.misses
 	m.Cache.Coalesced = s.coalesce
 	m.Cache.Executed = s.executed
+	m.Cache.PeerFills = s.peerFill
 	m.Cache.Entries = s.cfg.Store.Len()
 	m.JobLatencyUS.P50 = s.latency.P50()
 	m.JobLatencyUS.P95 = s.latency.P95()

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Window is a fixed-capacity sliding window of float64 samples with
+// quantile readout. Unlike the cumulative log-bucketed histograms in
+// internal/stats, a Window forgets: only the most recent capacity samples
+// contribute, so a quantile tracks the service's current behavior rather
+// than its lifetime average. The ring coordinator derives its hedge delay
+// from the p95 of recent request latencies — a figure that must adapt when
+// the cluster slows down or recovers.
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	n    int // live samples (≤ cap(buf))
+	next int // ring write position
+}
+
+// NewWindow returns a window keeping the last capacity samples (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Add records one sample, displacing the oldest once full.
+func (w *Window) Add(v float64) {
+	w.mu.Lock()
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Count reports the live sample count.
+func (w *Window) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1, nearest-rank on the sorted
+// live samples); ok is false while the window is empty.
+func (w *Window) Quantile(q float64) (v float64, ok bool) {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0, false
+	}
+	s := make([]float64, w.n)
+	copy(s, w.buf[:w.n])
+	w.mu.Unlock()
+	sort.Float64s(s)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(s)-1))
+	return s[idx], true
+}

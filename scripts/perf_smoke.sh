@@ -8,7 +8,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE_FILE="${PERF_BASELINE:-$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)}"
+# Newest BENCH_PR*.json that actually carries a ns/cycle measurement: some
+# artifacts (BENCH_PR10.json) record serving-path throughput from simload
+# and have no ns_per_op, so they cannot gate the simulation hot path.
+if [[ -n "${PERF_BASELINE:-}" ]]; then
+  BASELINE_FILE="$PERF_BASELINE"
+else
+  BASELINE_FILE=""
+  for f in $(ls BENCH_PR*.json 2>/dev/null | sort -rV); do
+    if grep -q '"ns_per_op"' "$f"; then BASELINE_FILE="$f"; break; fi
+  done
+  [[ -n "$BASELINE_FILE" ]] || { echo "perf_smoke: FAIL: no BENCH_PR*.json with ns_per_op found" >&2; exit 1; }
+fi
 # PERF_SMOKE_TOLERANCE overrides the regression gate (percent over baseline);
 # PERF_THRESHOLD_PCT is the older name, kept working.
 THRESHOLD_PCT="${PERF_SMOKE_TOLERANCE:-${PERF_THRESHOLD_PCT:-15}}"
